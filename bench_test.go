@@ -1,0 +1,143 @@
+package newtop_test
+
+// One benchmark per table and figure of the paper's evaluation (§5). Each
+// benchmark runs its registered experiment at a reduced smoke scale and
+// reports the headline metric of that artifact; experiments shared by a
+// latency figure and its throughput twin (the paper always plots both for
+// one run) execute once and are memoized. The full-scale sweeps — the
+// paper's exact client counts and request volumes — are produced by
+// `go run ./cmd/newtop-bench` and recorded in EXPERIMENTS.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/bench"
+)
+
+// benchScale keeps every experiment to a few seconds.
+func benchScale() bench.Scale {
+	return bench.Scale{
+		Seed:         7,
+		Requests:     10,
+		ClientCounts: []int{1, 4},
+		PeerMessages: 30,
+		PeerMembers:  []int{2, 4},
+	}
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[string]*bench.Result{}
+)
+
+// runExperiment executes (once per process) the registered experiment and
+// returns its result.
+func runExperiment(b *testing.B, id string) *bench.Result {
+	b.Helper()
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	if res, ok := memo[id]; ok {
+		return res
+	}
+	exp := bench.FindExperiment(id)
+	if exp == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := exp.Run(ctx, benchScale())
+	if err != nil {
+		b.Fatalf("experiment %s: %v", id, err)
+	}
+	memo[id] = res
+	return res
+}
+
+// lastRowFloat extracts a numeric column from the last row of the first
+// table (the highest-load point of the sweep).
+func lastRowFloat(b *testing.B, res *bench.Result, col int) float64 {
+	b.Helper()
+	if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+		b.Fatalf("experiment %s produced no rows", res.ID)
+	}
+	rows := res.Tables[0].Rows
+	cell := strings.TrimSpace(rows[len(rows)-1][col])
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// report runs the experiment once per benchmark iteration request (the
+// memo makes repeats free) and reports one metric.
+func report(b *testing.B, id string, col int, unit string) {
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = runExperiment(b, id)
+	}
+	b.ReportMetric(lastRowFloat(b, res, col), unit)
+	var sb strings.Builder
+	bench.Render(&sb, res)
+	b.Log("\n" + sb.String())
+}
+
+// Table 1: raw CORBA baseline (latency of the slowest WAN pair).
+func BenchmarkTable1(b *testing.B) { report(b, "table1", 1, "ms/req") }
+
+// Graphs 1-2: non-replicated server via NewTop, LAN.
+func BenchmarkGraph1(b *testing.B) { report(b, "graphs1-2", 1, "ms/req") }
+func BenchmarkGraph2(b *testing.B) { report(b, "graphs1-2", 2, "req/s") }
+
+// Graphs 3-4: non-replicated server via NewTop, distant clients.
+func BenchmarkGraph3(b *testing.B) { report(b, "graphs3-4", 1, "ms/req") }
+func BenchmarkGraph4(b *testing.B) { report(b, "graphs3-4", 2, "req/s") }
+
+// Graphs 5-6: optimised open+async vs non-replicated, LAN.
+func BenchmarkGraph5(b *testing.B) { report(b, "graphs5-6", 1, "ms/req") }
+func BenchmarkGraph6(b *testing.B) { report(b, "graphs5-6", 2, "req/s") }
+
+// Graphs 7-8: optimised open+async vs non-replicated, servers LAN +
+// distant clients.
+func BenchmarkGraph7(b *testing.B) { report(b, "graphs7-8", 1, "ms/req") }
+func BenchmarkGraph8(b *testing.B) { report(b, "graphs7-8", 2, "req/s") }
+
+// Graphs 9-10: optimised open+async vs non-replicated, geo-distributed.
+func BenchmarkGraph9(b *testing.B)  { report(b, "graphs9-10", 1, "ms/req") }
+func BenchmarkGraph10(b *testing.B) { report(b, "graphs9-10", 2, "req/s") }
+
+// Graphs 11-12: closed vs open, LAN.
+func BenchmarkGraph11(b *testing.B) { report(b, "graphs11-12", 1, "ms/req") }
+func BenchmarkGraph12(b *testing.B) { report(b, "graphs11-12", 2, "req/s") }
+
+// Graphs 13-14: closed vs open, servers LAN + distant clients.
+func BenchmarkGraph13(b *testing.B) { report(b, "graphs13-14", 1, "ms/req") }
+func BenchmarkGraph14(b *testing.B) { report(b, "graphs13-14", 2, "req/s") }
+
+// Graphs 15-16: closed vs open, geo-distributed.
+func BenchmarkGraph15(b *testing.B) { report(b, "graphs15-16", 1, "ms/req") }
+func BenchmarkGraph16(b *testing.B) { report(b, "graphs15-16", 2, "req/s") }
+
+// Graphs 17-18: peer participation, geo-separated.
+func BenchmarkGraph17(b *testing.B) { report(b, "graph17", 1, "msg/s") }
+func BenchmarkGraph18(b *testing.B) { report(b, "graph18", 1, "msg/s") }
+
+// §5.2 text: peer participation on the LAN (sequencer bottleneck).
+func BenchmarkPeerLAN(b *testing.B) { report(b, "peer-lan", 1, "msg/s") }
+
+// §5.1.3 text: closed vs open under symmetric ordering.
+func BenchmarkClosedSymmetric(b *testing.B) { report(b, "closed-symmetric", 1, "ms/req") }
+
+// Ablations (beyond the published figures; see DESIGN.md).
+func BenchmarkAblationOptimisations(b *testing.B) { report(b, "ablation-optimisations", 1, "ms/req") }
+func BenchmarkAblationOrderingRR(b *testing.B)    { report(b, "ablation-ordering-rr", 1, "ms/req") }
+func BenchmarkAblationPeerWindow(b *testing.B)    { report(b, "ablation-peer-window", 1, "msg/s") }

@@ -1,0 +1,92 @@
+// Command newtop-bench regenerates the paper's evaluation (§5): every
+// table and figure is a registered experiment that prints the same rows or
+// series the paper reports, measured against the simulated LAN/WAN
+// environment.
+//
+// Usage:
+//
+//	newtop-bench [-experiment all|<id>[,<id>...]] [-quick] [-requests N] [-timeout D]
+//
+// Experiment identifiers (see DESIGN.md §4): table1, graphs1-2, graphs3-4,
+// graphs5-6, graphs7-8, graphs9-10, graphs11-12, graphs13-14, graphs15-16,
+// graph17, graph18, peer-lan, closed-symmetric.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"newtop/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "newtop-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("newtop-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id(s), comma separated, 'all', or 'all+ablations'")
+		quick      = fs.Bool("quick", false, "use the reduced smoke-test scale")
+		requests   = fs.Int("requests", 0, "override timed requests per client")
+		timeout    = fs.Duration("timeout", 45*time.Minute, "overall deadline")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.AllExperiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	scale := bench.FullScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+	if *requests > 0 {
+		scale.Requests = *requests
+	}
+
+	var selected []bench.Experiment
+	if *experiment == "all" {
+		selected = bench.Experiments()
+	} else if *experiment == "all+ablations" {
+		selected = bench.AllExperiments()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			e := bench.FindExperiment(strings.TrimSpace(id))
+			if e == nil {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(ctx, scale)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if res.Title == "" {
+			res.Title = e.Title
+		}
+		bench.Render(os.Stdout, res)
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunFlagHandling(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if err := run([]string{"-experiment", "definitely-not-real", "-quick"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

@@ -1,0 +1,242 @@
+// Command newtop-node runs a real NewTop process over TCP — the same
+// stack the simulator exercises, on real sockets. It demonstrates the
+// three interaction modes of the paper on an actual network:
+//
+// Run a replicated server group on one machine (three shells):
+//
+//	newtop-node serve -id s1 -listen :7101 -group calc
+//	newtop-node serve -id s2 -listen :7102 -group calc -peers s1=127.0.0.1:7101 -contact s1
+//	newtop-node serve -id s3 -listen :7103 -group calc -peers s1=127.0.0.1:7101,s2=127.0.0.1:7102 -contact s1
+//
+// Invoke it (open binding, wait-for-all):
+//
+//	newtop-node invoke -id c1 -listen :7201 -group calc \
+//	    -peers s1=127.0.0.1:7101,s2=127.0.0.1:7102,s3=127.0.0.1:7103 \
+//	    -contact s1 -mode all -method echo -args hello
+//
+// Peer participation (run several, type lines, watch identical order):
+//
+//	newtop-node peer -id p1 -listen :7301 -group room
+//	newtop-node peer -id p2 -listen :7302 -group room -peers p1=127.0.0.1:7301 -contact p1
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/transport/tcpnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "newtop-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: newtop-node serve|invoke|peer [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		id      = fs.String("id", "", "process identifier (required)")
+		listen  = fs.String("listen", "127.0.0.1:0", "listen address")
+		peers   = fs.String("peers", "", "comma separated peer address book: id=host:port,...")
+		group   = fs.String("group", "demo", "group name")
+		contact = fs.String("contact", "", "existing member to join/bind through")
+		method  = fs.String("method", "echo", "method to invoke (invoke)")
+		cargs   = fs.String("args", "", "invocation argument (invoke)")
+		mode    = fs.String("mode", "first", "reply mode: oneway|first|majority|all (invoke)")
+		style   = fs.String("style", "open", "binding style: open|closed (invoke)")
+		order   = fs.String("order", "sequencer", "ordering: sequencer|symmetric|causal")
+		timeout = fs.Duration("timeout", 30*time.Second, "operation deadline")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	ep, err := tcpnet.Listen(ids.ProcessID(*id), *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s listening on %s\n", *id, ep.Addr())
+	for _, pair := range strings.Split(*peers, ",") {
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("bad -peers entry %q (want id=host:port)", pair)
+		}
+		ep.AddPeer(ids.ProcessID(name), addr)
+	}
+
+	gcfg := gcs.GroupConfig{Order: parseOrder(*order)}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd {
+	case "serve":
+		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg)
+	case "invoke":
+		return invokeCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *style, *method, *cargs, *mode)
+	case "peer":
+		return peerCmd(ep, *group, ids.ProcessID(*contact), gcfg)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func parseOrder(s string) gcs.OrderMode {
+	switch s {
+	case "symmetric":
+		return gcs.OrderSymmetric
+	case "causal":
+		return gcs.OrderCausal
+	default:
+		return gcs.OrderSequencer
+	}
+}
+
+func parseMode(s string) core.ReplyMode {
+	switch s {
+	case "oneway":
+		return core.OneWay
+	case "majority":
+		return core.Majority
+	case "all":
+		return core.All
+	default:
+		return core.First
+	}
+}
+
+// serveCmd hosts one replica of a simple echo/uppercase service.
+func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig) error {
+	svc := core.NewService(ep)
+	defer svc.Close()
+	me := svc.ID()
+	srv, err := svc.Serve(ctx, core.ServeConfig{
+		Group:   ids.GroupID(group),
+		Contact: contact,
+		Handler: func(method string, args []byte) ([]byte, error) {
+			switch method {
+			case "echo":
+				return args, nil
+			case "upper":
+				return []byte(strings.ToUpper(string(args))), nil
+			case "whoami":
+				return []byte(me), nil
+			default:
+				return nil, fmt.Errorf("unknown method %q", method)
+			}
+		},
+		GCS: gcfg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving group %q; view %v\n", group, srv.GroupView())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("leaving group")
+	return srv.Close()
+}
+
+// invokeCmd binds and performs one invocation.
+func invokeCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, style, method, args, mode string) error {
+	svc := core.NewService(ep)
+	defer svc.Close()
+	bc := core.BindConfig{
+		ServerGroup: ids.GroupID(group),
+		Contact:     contact,
+		Style:       core.Open,
+		GCS:         gcfg,
+	}
+	if style == "closed" {
+		bc.Style = core.Closed
+	}
+	b, err := svc.Bind(ctx, bc)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	fmt.Printf("bound (%s) via %s; servers %v\n", bc.Style, b.RequestManager(), b.Servers())
+
+	t0 := time.Now()
+	replies, err := b.Invoke(ctx, method, []byte(args), parseMode(mode))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d replies in %s:\n", len(replies), time.Since(t0).Round(time.Microsecond))
+	for _, r := range replies {
+		if r.Err != nil {
+			fmt.Printf("  %s -> error: %v\n", r.Server, r.Err)
+		} else {
+			fmt.Printf("  %s -> %q\n", r.Server, r.Payload)
+		}
+	}
+	return nil
+}
+
+// peerCmd joins (or creates) a lively peer group and relays stdin lines.
+func peerCmd(ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig) error {
+	node := gcs.NewNode(ep)
+	defer node.Close()
+	gcfg.Liveness = gcs.Lively
+
+	var g *gcs.Group
+	var err error
+	if contact.Nil() {
+		g, err = node.Create(ids.GroupID(group), gcfg)
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		g, err = node.Join(ctx, ids.GroupID(group), contact, gcfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("in group %q as %s; type lines to multicast\n", group, node.ID())
+
+	go func() {
+		for ev := range g.Events() {
+			switch ev.Type {
+			case gcs.EventDeliver:
+				fmt.Printf("[%s] %s\n", ev.Deliver.Sender, ev.Deliver.Payload)
+			case gcs.EventView:
+				fmt.Printf("** view %v\n", ev.View.Members)
+			}
+		}
+	}()
+
+	scan := bufio.NewScanner(os.Stdin)
+	for scan.Scan() {
+		line := scan.Text()
+		if line == "/quit" {
+			break
+		}
+		if err := g.Multicast(context.Background(), []byte(line)); err != nil {
+			return err
+		}
+	}
+	return g.Leave()
+}

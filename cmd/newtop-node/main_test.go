@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"newtop/internal/core"
+	"newtop/internal/gcs"
+)
+
+func TestParsers(t *testing.T) {
+	if parseOrder("symmetric") != gcs.OrderSymmetric ||
+		parseOrder("causal") != gcs.OrderCausal ||
+		parseOrder("anything-else") != gcs.OrderSequencer {
+		t.Fatal("parseOrder")
+	}
+	if parseMode("oneway") != core.OneWay || parseMode("majority") != core.Majority ||
+		parseMode("all") != core.All || parseMode("x") != core.First {
+		t.Fatal("parseMode")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand must error")
+	}
+	if err := run([]string{"serve"}); err == nil {
+		t.Fatal("missing -id must error")
+	}
+	if err := run([]string{"serve", "-id", "x", "-peers", "malformed"}); err == nil {
+		t.Fatal("bad -peers must error")
+	}
+	if err := run([]string{"frobnicate", "-id", "x"}); err == nil {
+		t.Fatal("unknown subcommand must error")
+	}
+}

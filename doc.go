@@ -1,0 +1,15 @@
+// Package newtop is a Go reproduction of "Implementing Flexible Object
+// Group Invocation in Networked Systems" (G. Morgan and S.K. Shrivastava,
+// DSN 2000): the NewTop object group service — a virtually synchronous
+// group communication service with symmetric and asymmetric total-order
+// protocols, and a flexible invocation layer providing closed groups,
+// open groups (request managers), the restricted/asynchronous-forwarding
+// optimisations, group-to-group invocation and four reply modes.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured evaluation, and README.md for a tour. The public
+// surface lives in internal/core (the NewTop service object), internal/gcs
+// (the group communication service) and internal/orb (the mini-ORB); the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's §5.
+package newtop

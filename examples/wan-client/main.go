@@ -1,0 +1,138 @@
+// WAN client: open groups, request-manager failure and smart-proxy
+// rebinding over simulated Internet paths.
+//
+// Three replicas run on a Newcastle LAN; the client sits in Pisa behind a
+// high-latency path — exactly the situation where the paper's open-group
+// configuration wins. The client invokes through a smart proxy; when its
+// request manager is crashed mid-session, the proxy rebinds to a
+// surviving replica and retries with the same call number, and the
+// retained-reply mechanism guarantees the retry does not re-execute.
+//
+//	go run ./examples/wan-client
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+func timers() gcs.GroupConfig {
+	return gcs.GroupConfig{
+		TimeSilence:    40 * time.Millisecond,
+		SuspectTimeout: 400 * time.Millisecond,
+		Resend:         150 * time.Millisecond,
+		FlushTimeout:   600 * time.Millisecond,
+		Tick:           10 * time.Millisecond,
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// The evaluation profile: ~ms LAN, tens-of-ms Internet paths.
+	net := memnet.New(netsim.New(netsim.EvalProfile(), 1))
+
+	var contact ids.ProcessID
+	var executions [3]atomic.Int64
+	for i := 0; i < 3; i++ {
+		i := i
+		id := ids.ProcessID(fmt.Sprintf("srv-%d.newcastle", i))
+		ep, err := net.Endpoint(id, netsim.SiteNewcastle)
+		if err != nil {
+			return err
+		}
+		svc := core.NewService(ep)
+		defer svc.Close()
+		if _, err := svc.Serve(ctx, core.ServeConfig{
+			Group:   "quotes",
+			Contact: contact,
+			Handler: func(method string, args []byte) ([]byte, error) {
+				executions[i].Add(1)
+				return []byte(fmt.Sprintf("quote %q served by srv-%d", args, i)), nil
+			},
+			GCS: timers(),
+		}); err != nil {
+			return err
+		}
+		if i == 0 {
+			contact = id
+		}
+	}
+
+	cep, err := net.Endpoint("client.pisa", netsim.SitePisa)
+	if err != nil {
+		return err
+	}
+	client := core.NewService(cep)
+	defer client.Close()
+
+	proxy, err := client.NewProxy(ctx, core.BindConfig{
+		ServerGroup: "quotes",
+		Contact:     "srv-1.newcastle", // bind via a non-leader replica
+		Style:       core.Open,
+		GCS:         timers(),
+	})
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	rm := proxy.Binding().RequestManager()
+	fmt.Printf("client in Pisa bound over the WAN; request manager: %s\n\n", rm)
+
+	invoke := func(label string) error {
+		t0 := time.Now()
+		replies, err := proxy.Invoke(ctx, "get", []byte(label), core.First)
+		if err != nil {
+			return fmt.Errorf("invoke %s: %w", label, err)
+		}
+		fmt.Printf("%-12s -> %-35q  (%.1f ms, via %s)\n",
+			label, string(replies[0].Payload),
+			float64(time.Since(t0))/float64(time.Millisecond), replies[0].Server)
+		return nil
+	}
+
+	for _, l := range []string{"ACME", "GLOBEX", "INITECH"} {
+		if err := invoke(l); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("\n*** crashing the request manager %s ***\n", rm)
+	net.Sim().Crash(rm)
+
+	// The next call finds the binding broken, rebinds to a survivor and
+	// retries with the same call number — served exactly once.
+	if err := invoke("AFTER-CRASH"); err != nil {
+		return err
+	}
+	fmt.Printf("rebound to request manager: %s\n", proxy.Binding().RequestManager())
+
+	for _, l := range []string{"HOOLI", "PIEDPIPER"} {
+		if err := invoke(l); err != nil {
+			return err
+		}
+	}
+
+	total := int64(0)
+	for i := range executions {
+		total += executions[i].Load()
+	}
+	fmt.Printf("\ntotal executions across replicas: %d (6 calls x 3 replicas via open-group distribution = 18; no duplicates from the retry)\n", total)
+	return nil
+}

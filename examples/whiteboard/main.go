@@ -1,0 +1,158 @@
+// Shared whiteboard: cross-group total order over overlapping groups.
+//
+// Three participants each belong to two groups — "board" (drawing
+// operations) and "control" (moderation commands) — placed in one
+// total-order domain. Every participant merges the two streams with
+// gcs.MergeDomain and applies operations in the domain's global order, so
+// a "clear" command in the control group cuts every member's board at the
+// same drawing operation: the boards end up identical even though the
+// operations travelled through different groups. This is NewTop's
+// multi-group total ordering (the property plain per-group ordering
+// cannot give you; see internal/gcs/domain.go).
+//
+//	go run ./examples/whiteboard
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+const members = 3
+
+func cfg() gcs.GroupConfig {
+	return gcs.GroupConfig{
+		Order:          gcs.OrderSymmetric,
+		Liveness:       gcs.Lively,
+		Domain:         "whiteboard", // one total order across both groups
+		TimeSilence:    5 * time.Millisecond,
+		SuspectTimeout: 300 * time.Millisecond,
+		Resend:         50 * time.Millisecond,
+		FlushTimeout:   400 * time.Millisecond,
+		Tick:           2 * time.Millisecond,
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	net := memnet.New(netsim.New(netsim.FastProfile(), 1))
+
+	var nodes []*gcs.Node
+	boards := make([]*gcs.Group, members)
+	controls := make([]*gcs.Group, members)
+	for i := 0; i < members; i++ {
+		ep, err := net.Endpoint(ids.ProcessID(fmt.Sprintf("user-%d", i)), netsim.SiteLAN)
+		if err != nil {
+			return err
+		}
+		n := gcs.NewNode(ep)
+		defer n.Close()
+		nodes = append(nodes, n)
+		for _, gid := range []ids.GroupID{"board", "control"} {
+			var g *gcs.Group
+			if i == 0 {
+				g, err = n.Create(gid, cfg())
+			} else {
+				g, err = n.Join(ctx, gid, nodes[0].ID(), cfg())
+			}
+			if err != nil {
+				return err
+			}
+			if gid == "board" {
+				boards[i] = g
+			} else {
+				controls[i] = g
+			}
+		}
+	}
+	for _, g := range append(append([]*gcs.Group{}, boards...), controls...) {
+		for len(g.View().Members) != members {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	fmt.Println("three users in two overlapping groups (board + control), one total-order domain")
+
+	// Each user applies the merged stream to its own board replica.
+	finals := make([]string, members)
+	var consumers sync.WaitGroup
+	const totalOps = members*4 + 1 // 4 strokes each + one clear
+	for i := 0; i < members; i++ {
+		i := i
+		merged := gcs.MergeDomain(boards[i], controls[i])
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			var strokes []string
+			seen := 0
+			for ev := range merged {
+				if ev.Type != gcs.EventDeliver {
+					continue
+				}
+				op := string(ev.Deliver.Payload)
+				if op == "clear" {
+					strokes = strokes[:0]
+				} else {
+					strokes = append(strokes, op)
+				}
+				seen++
+				if seen == totalOps {
+					finals[i] = strings.Join(strokes, " ")
+					return
+				}
+			}
+		}()
+	}
+
+	// Everyone draws concurrently; user-1 clears the board mid-stream
+	// through the *control* group.
+	var producers sync.WaitGroup
+	for i := 0; i < members; i++ {
+		i := i
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for k := 0; k < 4; k++ {
+				stroke := fmt.Sprintf("line(%d,%d)", i, k)
+				if err := boards[i].Multicast(context.Background(), []byte(stroke)); err != nil {
+					log.Printf("draw: %v", err)
+					return
+				}
+				if i == 1 && k == 1 {
+					if err := controls[i].Multicast(context.Background(), []byte("clear")); err != nil {
+						log.Printf("clear: %v", err)
+						return
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	producers.Wait()
+	consumers.Wait()
+
+	fmt.Printf("\nboard at user-0 after the dust settles:\n  %s\n", finals[0])
+	for i := 1; i < members; i++ {
+		if finals[i] != finals[0] {
+			return fmt.Errorf("BOARDS DIVERGED:\n user-0: %s\n user-%d: %s", finals[0], i, finals[i])
+		}
+	}
+	fmt.Println("\nall boards identical — the clear cut every replica at the same stroke,")
+	fmt.Println("even though strokes and the clear travelled through different groups")
+	return nil
+}

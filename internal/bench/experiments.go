@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/gcs"
+	"newtop/internal/netsim"
+)
+
+// Scale sizes an experiment run: the full scale mirrors the paper (clients
+// 1..20, 100 timed requests each), the quick scale keeps `go test -bench`
+// runs short.
+type Scale struct {
+	Seed         int64
+	Requests     int
+	ClientCounts []int
+	PeerMessages int
+	PeerMembers  []int
+}
+
+// FullScale reproduces the paper's sweep sizes.
+func FullScale() Scale {
+	return Scale{
+		Seed:         7,
+		Requests:     40,
+		ClientCounts: []int{1, 2, 4, 6, 8, 12, 16, 20},
+		PeerMessages: 120,
+		PeerMembers:  []int{2, 3, 4, 5, 6, 7, 8, 9},
+	}
+}
+
+// QuickScale is a smoke-sized sweep for test/bench runs.
+func QuickScale() Scale {
+	return Scale{
+		Seed:         7,
+		Requests:     12,
+		ClientCounts: []int{1, 4, 8},
+		PeerMessages: 30,
+		PeerMembers:  []int{2, 4, 6},
+	}
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID          string
+	Title       string
+	Expectation string // the paper's qualitative claim for this artifact
+	Tables      []Table
+}
+
+// Experiment is a registered reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx context.Context, sc Scale) (*Result, error)
+}
+
+// Experiments lists every table/figure reproduction, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table 1: raw CORBA request-reply baseline", Run: runTable1},
+		{ID: "graphs1-2", Title: "Graphs 1–2: non-replicated server via NewTop, all LAN", Run: rrExperiment(rrSpec{
+			id: "graphs1-2", place: PlacementLAN, variant: VariantNonReplicated, servers: 1, mode: core.First,
+			expect: "one client nearly saturates the server; latency climbs with client count; single-client call ~2.5x the raw call",
+		})},
+		{ID: "graphs3-4", Title: "Graphs 3–4: non-replicated server via NewTop, distant clients", Run: rrExperiment(rrSpec{
+			id: "graphs3-4", place: PlacementMixed, variant: VariantNonReplicated, servers: 1, mode: core.First,
+			expect: "throughput grows with client count; latency roughly flat (latency-bound, not server-bound)",
+		})},
+		{ID: "graphs5-6", Title: "Graphs 5–6: optimised open+async vs non-replicated, all LAN", Run: rrCompareExperiment(rrCompareSpec{
+			id: "graphs5-6", place: PlacementLAN,
+			expect: "optimised group invocation closely matches the non-replicated server",
+		})},
+		{ID: "graphs7-8", Title: "Graphs 7–8: optimised open+async vs non-replicated, servers LAN + distant clients", Run: rrCompareExperiment(rrCompareSpec{
+			id: "graphs7-8", place: PlacementMixed,
+			expect: "optimised group invocation closely matches the non-replicated server",
+		})},
+		{ID: "graphs9-10", Title: "Graphs 9–10: optimised open+async vs non-replicated, geo-distributed", Run: rrCompareExperiment(rrCompareSpec{
+			id: "graphs9-10", place: PlacementGeo,
+			expect: "optimised group invocation closely matches the non-replicated server",
+		})},
+		{ID: "graphs11-12", Title: "Graphs 11–12: closed vs open groups (asymmetric, wait-for-all), all LAN", Run: closedOpenExperiment(closedOpenSpec{
+			id: "graphs11-12", place: PlacementLAN, order: gcs.OrderSequencer,
+			expect: "little difference between closed and open on a low-latency LAN",
+		})},
+		{ID: "graphs13-14", Title: "Graphs 13–14: closed vs open groups, servers LAN + distant clients", Run: closedOpenExperiment(closedOpenSpec{
+			id: "graphs13-14", place: PlacementMixed, order: gcs.OrderSequencer,
+			expect: "open groups clearly beat closed groups when clients are behind high-latency paths",
+		})},
+		{ID: "graphs15-16", Title: "Graphs 15–16: closed vs open groups, geo-distributed", Run: closedOpenExperiment(closedOpenSpec{
+			id: "graphs15-16", place: PlacementGeo, order: gcs.OrderSequencer,
+			expect: "open groups remain the better choice under wide-area distribution",
+		})},
+		{ID: "graph17", Title: "Graph 17: peer participation, geo-separated, symmetric ordering", Run: peerExperiment(peerSpec{
+			id: "graph17", place: PlacementGeo, order: gcs.OrderSymmetric,
+			expect: "symmetric ordering sustains roughly twice the asymmetric rate over the Internet",
+		})},
+		{ID: "graph18", Title: "Graph 18: peer participation, geo-separated, asymmetric ordering", Run: peerExperiment(peerSpec{
+			id: "graph18", place: PlacementGeo, order: gcs.OrderSequencer,
+			expect: "the sequencer redirection roughly halves throughput relative to symmetric",
+		})},
+		{ID: "peer-lan", Title: "§5.2 text: peer participation on the LAN, both orderings", Run: runPeerLAN},
+		{ID: "closed-symmetric", Title: "§5.1.3 text: closed vs open under symmetric ordering", Run: runClosedSymmetric},
+	}
+}
+
+// AllExperiments returns the paper reproductions plus the ablations.
+func AllExperiments() []Experiment {
+	return append(Experiments(), ablationExperiments()...)
+}
+
+// FindExperiment returns the experiment with the given id, or nil.
+func FindExperiment(id string) *Experiment {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+// --- Table 1 ---
+
+func runTable1(ctx context.Context, sc Scale) (*Result, error) {
+	pairs := []struct {
+		name                string
+		clientSite, srvSite string
+	}{
+		{"client and server on distinct nodes in LAN", netsim.SiteLAN, netsim.SiteLAN},
+		{"client in Pisa and server in Newcastle", netsim.SitePisa, netsim.SiteNewcastle},
+		{"client in London and server in Newcastle", netsim.SiteLondon, netsim.SiteNewcastle},
+		{"client in Pisa and server in London", netsim.SitePisa, netsim.SiteLondon},
+	}
+	tbl := Table{
+		Title:  "Performance of CORBA (no NewTop)",
+		Header: []string{"configuration", "timed request (ms)", "requests per second"},
+	}
+	for i, p := range pairs {
+		place := Placement{
+			Name:       p.name,
+			ServerSite: func(int) string { return p.srvSite },
+			ClientSite: func(int) string { return p.clientSite },
+		}
+		pts, err := RunRequestReply(ctx, RRConfig{
+			Profile:      netsim.EvalProfile(),
+			Seed:         sc.Seed + int64(i),
+			Place:        place,
+			NServers:     1,
+			Variant:      VariantRaw,
+			ClientCounts: []int{1},
+			Requests:     sc.Requests,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{p.name, fmtMS(pts[0].Latency), fmtF(pts[0].Throughput)})
+	}
+	return &Result{
+		ID:          "table1",
+		Title:       "Table 1: raw CORBA request-reply baseline",
+		Expectation: "LAN calls take ~1 ms-scale time; Internet paths are an order of magnitude slower",
+		Tables:      []Table{tbl},
+	}, nil
+}
+
+// --- single-variant request-reply graphs ---
+
+type rrSpec struct {
+	id      string
+	place   Placement
+	variant Variant
+	servers int
+	mode    core.ReplyMode
+	expect  string
+}
+
+func rrExperiment(spec rrSpec) func(context.Context, Scale) (*Result, error) {
+	return func(ctx context.Context, sc Scale) (*Result, error) {
+		pts, err := RunRequestReply(ctx, RRConfig{
+			Profile:      netsim.EvalProfile(),
+			Seed:         sc.Seed,
+			Place:        spec.place,
+			NServers:     spec.servers,
+			Order:        gcs.OrderSequencer,
+			Variant:      spec.variant,
+			Mode:         spec.mode,
+			ClientCounts: sortedCounts(sc.ClientCounts),
+			Requests:     sc.Requests,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl := Table{
+			Title:  fmt.Sprintf("%s, %s (%s)", spec.variant, spec.place.Name, spec.mode),
+			Header: []string{"clients", "latency (ms)", "throughput (req/s)"},
+		}
+		for _, p := range pts {
+			tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(p.Clients), fmtMS(p.Latency), fmtF(p.Throughput)})
+		}
+		return &Result{ID: spec.id, Expectation: spec.expect, Tables: []Table{tbl}}, nil
+	}
+}
+
+// --- optimised vs non-replicated comparisons (graphs 5-10) ---
+
+type rrCompareSpec struct {
+	id     string
+	place  Placement
+	expect string
+}
+
+func rrCompareExperiment(spec rrCompareSpec) func(context.Context, Scale) (*Result, error) {
+	return func(ctx context.Context, sc Scale) (*Result, error) {
+		counts := sortedCounts(sc.ClientCounts)
+		opt, err := RunRequestReply(ctx, RRConfig{
+			Profile: netsim.EvalProfile(), Seed: sc.Seed, Place: spec.place,
+			NServers: 3, Order: gcs.OrderSequencer,
+			Variant: VariantOptimized, Mode: core.First,
+			ClientCounts: counts, Requests: sc.Requests,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nonrep, err := RunRequestReply(ctx, RRConfig{
+			Profile: netsim.EvalProfile(), Seed: sc.Seed + 1000, Place: spec.place,
+			NServers: 1, Order: gcs.OrderSequencer,
+			Variant: VariantNonReplicated, Mode: core.First,
+			ClientCounts: counts, Requests: sc.Requests,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl := Table{
+			Title:  fmt.Sprintf("optimised open+async (3 replicas) vs non-replicated, %s", spec.place.Name),
+			Header: []string{"clients", "optimised lat (ms)", "optimised req/s", "non-repl lat (ms)", "non-repl req/s"},
+		}
+		for i := range opt {
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprint(opt[i].Clients),
+				fmtMS(opt[i].Latency), fmtF(opt[i].Throughput),
+				fmtMS(nonrep[i].Latency), fmtF(nonrep[i].Throughput),
+			})
+		}
+		return &Result{ID: spec.id, Expectation: spec.expect, Tables: []Table{tbl}}, nil
+	}
+}
+
+// --- closed vs open comparisons (graphs 11-16 and §5.1.3) ---
+
+type closedOpenSpec struct {
+	id     string
+	place  Placement
+	order  gcs.OrderMode
+	expect string
+}
+
+func closedOpenExperiment(spec closedOpenSpec) func(context.Context, Scale) (*Result, error) {
+	return func(ctx context.Context, sc Scale) (*Result, error) {
+		res, err := runClosedOpen(ctx, sc, spec.place, spec.order)
+		if err != nil {
+			return nil, err
+		}
+		res.ID = spec.id
+		res.Expectation = spec.expect
+		return res, nil
+	}
+}
+
+func runClosedOpen(ctx context.Context, sc Scale, place Placement, order gcs.OrderMode) (*Result, error) {
+	// The paper's closed-vs-open graphs sweep roughly 1..11 clients (the
+	// closed approach puts every client in the group, so protocol cost
+	// grows quadratically with the client count); cap the sweep at 12.
+	counts := capCounts(sortedCounts(sc.ClientCounts), 12)
+	closed, err := RunRequestReply(ctx, RRConfig{
+		Profile: netsim.EvalProfile(), Seed: sc.Seed, Place: place,
+		NServers: 3, Order: order,
+		Variant: VariantClosed, Mode: core.All,
+		ClientCounts: counts, Requests: sc.Requests,
+	})
+	if err != nil {
+		return nil, err
+	}
+	open, err := RunRequestReply(ctx, RRConfig{
+		Profile: netsim.EvalProfile(), Seed: sc.Seed + 1000, Place: place,
+		NServers: 3, Order: order,
+		Variant: VariantOpen, Mode: core.All,
+		ClientCounts: counts, Requests: sc.Requests,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := Table{
+		Title:  fmt.Sprintf("closed vs open groups (%s ordering, wait-for-all), %s", order, place.Name),
+		Header: []string{"clients", "closed lat (ms)", "closed req/s", "open lat (ms)", "open req/s"},
+	}
+	for i := range closed {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(closed[i].Clients),
+			fmtMS(closed[i].Latency), fmtF(closed[i].Throughput),
+			fmtMS(open[i].Latency), fmtF(open[i].Throughput),
+		})
+	}
+	return &Result{Tables: []Table{tbl}}, nil
+}
+
+// --- peer participation (graphs 17-18 and §5.2 LAN text) ---
+
+type peerSpec struct {
+	id     string
+	place  Placement
+	order  gcs.OrderMode
+	expect string
+}
+
+func peerExperiment(spec peerSpec) func(context.Context, Scale) (*Result, error) {
+	return func(ctx context.Context, sc Scale) (*Result, error) {
+		pts, err := RunPeer(ctx, PeerConfig{
+			Profile:  netsim.EvalProfile(),
+			Seed:     sc.Seed,
+			Place:    spec.place,
+			Order:    spec.order,
+			Members:  spec.orderedMembers(sc),
+			Messages: sc.PeerMessages,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl := Table{
+			Title:  fmt.Sprintf("peer participation (%s ordering), %s", spec.order, spec.place.Name),
+			Header: []string{"members", "msg/s (deliverable everywhere)", "mean deliver-all (ms)"},
+		}
+		for _, p := range pts {
+			tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(p.Members), fmtF(p.MsgPerSec), fmtMS(p.DeliverAll)})
+		}
+		return &Result{ID: spec.id, Expectation: spec.expect, Tables: []Table{tbl}}, nil
+	}
+}
+
+func (s peerSpec) orderedMembers(sc Scale) []int { return sortedCounts(sc.PeerMembers) }
+
+func runPeerLAN(ctx context.Context, sc Scale) (*Result, error) {
+	res := &Result{
+		ID:          "peer-lan",
+		Expectation: "throughput degrades with membership under both orderings, much more sharply with the asymmetric protocol (the sequencer is the bottleneck)",
+	}
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		pts, err := RunPeer(ctx, PeerConfig{
+			Profile:  netsim.EvalProfile(),
+			Seed:     sc.Seed,
+			Place:    PlacementLAN,
+			Order:    order,
+			Members:  sortedCounts(sc.PeerMembers),
+			Messages: sc.PeerMessages,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl := Table{
+			Title:  fmt.Sprintf("peer participation (%s ordering), lan", order),
+			Header: []string{"members", "msg/s (deliverable everywhere)", "mean deliver-all (ms)"},
+		}
+		for _, p := range pts {
+			tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(p.Members), fmtF(p.MsgPerSec), fmtMS(p.DeliverAll)})
+		}
+		res.Tables = append(res.Tables, tbl)
+	}
+	return res, nil
+}
+
+func runClosedSymmetric(ctx context.Context, sc Scale) (*Result, error) {
+	res := &Result{
+		ID:          "closed-symmetric",
+		Expectation: "closed groups perform poorly under symmetric ordering (protocol multicast traffic); under open groups there is little to choose between the orderings",
+	}
+	for _, place := range []Placement{PlacementLAN, PlacementMixed} {
+		sub, err := runClosedOpen(ctx, sc, place, gcs.OrderSymmetric)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, sub.Tables...)
+	}
+	return res, nil
+}
+
+// capCounts drops sweep points above the limit (keeping at least one).
+func capCounts(xs []int, limit int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x <= limit {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 && len(xs) > 0 {
+		out = append(out, xs[0])
+	}
+	return out
+}
+
+func fmtMS(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
+
+func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+	"newtop/internal/wire"
+)
+
+// PeerConfig parameterises a peer-participation experiment (§5.2): every
+// member of a lively group multicasts one-way messages as frequently as
+// possible, and the metric is how long a multicast takes to become
+// deliverable at every member, plus the group-level message rate.
+type PeerConfig struct {
+	Profile netsim.Profile
+	Seed    int64
+	Place   Placement
+	Order   gcs.OrderMode
+	// Members are the group sizes to sweep.
+	Members []int
+	// Messages is how many multicasts each member issues per point.
+	Messages int
+	// PayloadSize is the application payload (the paper uses a 100
+	// character CORBA string).
+	PayloadSize int
+	// Window bounds a member's unacknowledged-to-itself backlog: the
+	// sender stalls until its own message w back has been delivered,
+	// modelling a bounded transport window instead of unbounded flooding.
+	Window int
+}
+
+// PeerPoint is one measured point.
+type PeerPoint struct {
+	Members int
+	// DeliverAll is the mean time for a multicast to become deliverable
+	// at every member.
+	DeliverAll time.Duration
+	// MsgPerSec is the group-level rate of fully-delivered multicasts.
+	MsgPerSec float64
+}
+
+// RunPeer produces one point per group size.
+func RunPeer(ctx context.Context, cfg PeerConfig) ([]PeerPoint, error) {
+	if cfg.Messages <= 0 {
+		cfg.Messages = 100
+	}
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 100
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	points := make([]PeerPoint, 0, len(cfg.Members))
+	for _, n := range cfg.Members {
+		p, err := runPeerPoint(ctx, cfg, n)
+		if err != nil {
+			return points, fmt.Errorf("bench: peer %s members=%d: %w", cfg.Order, n, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// peerMsg is the payload each member multicasts.
+type peerMsg struct {
+	Sender ids.ProcessID
+	Seq    uint64
+	SentAt int64 // monotonic-ish nanos within the simulating process
+}
+
+func encodePeerMsg(m peerMsg, size int) []byte {
+	w := wire.NewWriter()
+	w.String(string(m.Sender))
+	w.Uvarint(m.Seq)
+	w.Varint(m.SentAt)
+	b := w.Bytes()
+	for len(b) < size {
+		b = append(b, '.')
+	}
+	return b
+}
+
+func decodePeerMsg(b []byte) (peerMsg, bool) {
+	r := wire.NewReader(b)
+	m := peerMsg{
+		Sender: ids.ProcessID(r.String()),
+		Seq:    r.Uvarint(),
+		SentAt: r.Varint(),
+	}
+	return m, r.Err() == nil
+}
+
+// peerTracker correlates sends with deliveries across all members.
+type peerTracker struct {
+	mu        sync.Mutex
+	need      int
+	delivered map[peerKey]int
+	totalLat  time.Duration
+	complete  int
+	lastDone  time.Time
+	done      chan struct{}
+	want      int
+}
+
+type peerKey struct {
+	sender ids.ProcessID
+	seq    uint64
+}
+
+func (tr *peerTracker) record(m peerMsg, at time.Time) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	k := peerKey{m.Sender, m.Seq}
+	tr.delivered[k]++
+	if tr.delivered[k] == tr.need {
+		delete(tr.delivered, k)
+		tr.totalLat += at.Sub(time.Unix(0, m.SentAt))
+		tr.complete++
+		tr.lastDone = at
+		if tr.complete == tr.want {
+			close(tr.done)
+		}
+	}
+}
+
+func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, error) {
+	net := memnet.New(netsim.New(cfg.Profile, cfg.Seed+int64(members)))
+	timers := evalTimers()
+	timers.Order = cfg.Order
+	timers.Liveness = gcs.Lively
+
+	nodes := make([]*gcs.Node, 0, members)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	groups := make([]*gcs.Group, 0, members)
+	for i := 0; i < members; i++ {
+		id := ids.ProcessID(fmt.Sprintf("p%02d.%s", i, cfg.Place.ClientSite(i)))
+		ep, err := net.Endpoint(id, cfg.Place.ClientSite(i))
+		if err != nil {
+			return PeerPoint{}, err
+		}
+		node := gcs.NewNode(ep)
+		nodes = append(nodes, node)
+		var g *gcs.Group
+		if i == 0 {
+			g, err = node.Create("peer", timers)
+		} else {
+			g, err = node.Join(ctx, "peer", nodes[0].ID(), timers)
+		}
+		if err != nil {
+			return PeerPoint{}, err
+		}
+		groups = append(groups, g)
+	}
+	// Wait for full membership everywhere.
+	for _, g := range groups {
+		for len(g.View().Members) != members {
+			select {
+			case <-ctx.Done():
+				return PeerPoint{}, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+
+	tr := &peerTracker{
+		need:      members,
+		delivered: make(map[peerKey]int),
+		done:      make(chan struct{}),
+		want:      members * cfg.Messages,
+	}
+
+	// Consumers: every member records every delivery (including its own)
+	// and tracks its own delivered sequence for windowing.
+	ownDelivered := make([]chan uint64, members)
+	var consumers sync.WaitGroup
+	for i, g := range groups {
+		i, g := i, g
+		ownDelivered[i] = make(chan uint64, cfg.Messages+1)
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			me := g.Me()
+			for ev := range g.Events() {
+				if ev.Type != gcs.EventDeliver {
+					continue
+				}
+				m, ok := decodePeerMsg(ev.Deliver.Payload)
+				if !ok {
+					continue
+				}
+				tr.record(m, time.Now())
+				if m.Sender == me {
+					ownDelivered[i] <- m.Seq
+				}
+			}
+		}()
+	}
+
+	// Producers: multicast as frequently as possible within the window.
+	start := time.Now()
+	var producers sync.WaitGroup
+	errCh := make(chan error, members)
+	for i, g := range groups {
+		i, g := i, g
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			inFlight := 0
+			for seq := uint64(1); seq <= uint64(cfg.Messages); seq++ {
+				for inFlight >= cfg.Window {
+					select {
+					case <-ownDelivered[i]:
+						inFlight--
+					case <-ctx.Done():
+						errCh <- ctx.Err()
+						return
+					}
+				}
+				payload := encodePeerMsg(peerMsg{
+					Sender: g.Me(),
+					Seq:    seq,
+					SentAt: time.Now().UnixNano(),
+				}, cfg.PayloadSize)
+				if err := g.Multicast(ctx, payload); err != nil {
+					errCh <- err
+					return
+				}
+				inFlight++
+			}
+		}()
+	}
+	producers.Wait()
+	select {
+	case err := <-errCh:
+		return PeerPoint{}, err
+	default:
+	}
+
+	// Wait until every multicast is deliverable everywhere.
+	select {
+	case <-tr.done:
+	case <-ctx.Done():
+		return PeerPoint{}, fmt.Errorf("peer drain: %w", ctx.Err())
+	}
+
+	tr.mu.Lock()
+	mean := tr.totalLat / time.Duration(tr.complete)
+	elapsed := tr.lastDone.Sub(start)
+	complete := tr.complete
+	tr.mu.Unlock()
+
+	// Close groups before the deferred node close so consumers drain.
+	for _, g := range groups {
+		_ = g.Leave()
+	}
+	consumers.Wait()
+
+	return PeerPoint{
+		Members:    members,
+		DeliverAll: mean,
+		MsgPerSec:  float64(complete) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a result as aligned plain-text tables.
+func Render(w io.Writer, res *Result) {
+	if res.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", res.Title)
+	} else {
+		fmt.Fprintf(w, "== %s ==\n", res.ID)
+	}
+	if res.Expectation != "" {
+		fmt.Fprintf(w, "paper expectation: %s\n", res.Expectation)
+	}
+	for _, tbl := range res.Tables {
+		fmt.Fprintln(w)
+		RenderTable(w, tbl)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable writes one aligned table.
+func RenderTable(w io.Writer, tbl Table) {
+	if tbl.Title != "" {
+		fmt.Fprintf(w, "-- %s --\n", tbl.Title)
+	}
+	widths := make([]int, len(tbl.Header))
+	for i, h := range tbl.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range tbl.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(tbl.Header)
+	rule := make([]string, len(tbl.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(rule, "  "))
+	for _, row := range tbl.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTableAligns(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"short", "1"}, {"a-much-longer-name", "123456"}},
+	}
+	var sb strings.Builder
+	RenderTable(&sb, tbl)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "demo") {
+		t.Fatal("title missing")
+	}
+	if len(strings.TrimRight(lines[1], " ")) > len(lines[2]) {
+		t.Fatalf("header and rule misaligned:\n%s", out)
+	}
+}
+
+func TestRenderResult(t *testing.T) {
+	res := &Result{
+		ID:          "x",
+		Title:       "Experiment X",
+		Expectation: "something holds",
+		Tables:      []Table{{Header: []string{"a"}, Rows: [][]string{{"1"}}}},
+	}
+	var sb strings.Builder
+	Render(&sb, res)
+	for _, want := range []string{"Experiment X", "something holds", "a", "1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := AllExperiments()
+	if len(exps) < 16 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := make(map[string]bool)
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if FindExperiment(e.ID) == nil {
+			t.Fatalf("FindExperiment(%q) = nil", e.ID)
+		}
+	}
+	if FindExperiment("nope") != nil {
+		t.Fatal("unknown id must return nil")
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	for _, p := range []Placement{PlacementLAN, PlacementMixed, PlacementGeo} {
+		if p.Name == "" {
+			t.Fatal("placement needs a name")
+		}
+		for i := 0; i < 5; i++ {
+			if p.ServerSite(i) == "" || p.ClientSite(i) == "" {
+				t.Fatalf("%s: empty site", p.Name)
+			}
+		}
+	}
+	// Mixed: servers together, clients split over two sites.
+	if PlacementMixed.ServerSite(0) != PlacementMixed.ServerSite(3) {
+		t.Fatal("mixed servers must share a site")
+	}
+	if PlacementMixed.ClientSite(0) == PlacementMixed.ClientSite(1) {
+		t.Fatal("mixed clients must alternate sites")
+	}
+}
+
+func TestScales(t *testing.T) {
+	full, quick := FullScale(), QuickScale()
+	if full.Requests <= quick.Requests || len(full.ClientCounts) <= len(quick.ClientCounts) {
+		t.Fatal("full scale must exceed quick scale")
+	}
+	if quick.Requests <= 0 || quick.PeerMessages <= 0 {
+		t.Fatal("quick scale must be positive")
+	}
+}
+
+func TestSortedCounts(t *testing.T) {
+	in := []int{8, 1, 4}
+	out := sortedCounts(in)
+	if out[0] != 1 || out[1] != 4 || out[2] != 8 {
+		t.Fatalf("sortedCounts = %v", out)
+	}
+	if in[0] != 8 {
+		t.Fatal("input must not be mutated")
+	}
+}
+
+func TestCapCounts(t *testing.T) {
+	got := capCounts([]int{1, 4, 8, 12, 16, 20}, 12)
+	if len(got) != 4 || got[len(got)-1] != 12 {
+		t.Fatalf("capCounts = %v", got)
+	}
+	if got := capCounts([]int{20, 30}, 12); len(got) != 1 || got[0] != 20 {
+		t.Fatalf("capCounts floor = %v", got)
+	}
+	if got := capCounts(nil, 12); len(got) != 0 {
+		t.Fatalf("capCounts(nil) = %v", got)
+	}
+}

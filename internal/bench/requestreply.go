@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/gcs"
+	"newtop/internal/netsim"
+	"newtop/internal/orb"
+)
+
+// Variant is the client-side configuration of a request-reply experiment.
+type Variant int
+
+const (
+	// VariantRaw invokes the servant directly over the ORB with no NewTop
+	// involvement (the paper's Table 1 baseline).
+	VariantRaw Variant = iota + 1
+	// VariantNonReplicated invokes a single-member server group through
+	// the NewTop service (graphs 1–4).
+	VariantNonReplicated
+	// VariantOpen invokes the server group through an open binding.
+	VariantOpen
+	// VariantClosed invokes the server group through a closed binding.
+	VariantClosed
+	// VariantOptimized is the restricted open group with asynchronous
+	// message forwarding (§4.2; graphs 5–10).
+	VariantOptimized
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantRaw:
+		return "raw-orb"
+	case VariantNonReplicated:
+		return "non-replicated"
+	case VariantOpen:
+		return "open"
+	case VariantClosed:
+		return "closed"
+	case VariantOptimized:
+		return "optimised-open-async"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// RRConfig parameterises one request-reply curve.
+type RRConfig struct {
+	Profile  netsim.Profile
+	Seed     int64
+	Place    Placement
+	NServers int
+	Order    gcs.OrderMode
+	Variant  Variant
+	// Restricted forces the restricted-group optimisation on VariantOpen
+	// (VariantOptimized implies it).
+	Restricted bool
+	// SpreadContacts makes each client bind through a different server
+	// (round-robin), so open-group request managers are spread across the
+	// membership instead of all landing on the bootstrap server (fig. 5(i)
+	// versus the restricted fig. 5(ii)).
+	SpreadContacts bool
+	Mode           core.ReplyMode
+	ClientCounts   []int
+	// Requests per client at each point (the paper times 100 requests
+	// per client and averages).
+	Requests int
+}
+
+// RRPoint is one measured point of a curve.
+type RRPoint struct {
+	Clients int
+	// Latency is the mean per-request invocation time over all clients.
+	Latency time.Duration
+	// Throughput is aggregate completed requests per second.
+	Throughput float64
+}
+
+// rawObject is the servant name used by the no-NewTop baseline.
+const rawObject = "rand.raw"
+
+// RunRequestReply produces one point per client count. Each point builds a
+// fresh world so measurements are independent, binds every client, runs a
+// small warm-up, then times Requests invocations per client issued
+// back-to-back ("as soon as a reply is received, another request is
+// issued").
+func RunRequestReply(ctx context.Context, cfg RRConfig) ([]RRPoint, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.First
+	}
+	points := make([]RRPoint, 0, len(cfg.ClientCounts))
+	for _, nc := range cfg.ClientCounts {
+		p, err := runRRPoint(ctx, cfg, nc)
+		if err != nil {
+			return points, fmt.Errorf("bench: %s clients=%d: %w", cfg.Variant, nc, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func runRRPoint(ctx context.Context, cfg RRConfig, nClients int) (RRPoint, error) {
+	env, err := NewEnv(ctx, EnvConfig{
+		Profile:  cfg.Profile,
+		Seed:     cfg.Seed + int64(nClients),
+		Place:    cfg.Place,
+		NServers: cfg.NServers,
+		NClients: nClients,
+		Order:    cfg.Order,
+	})
+	if err != nil {
+		return RRPoint{}, err
+	}
+	defer env.Close()
+
+	// The raw baseline bypasses NewTop entirely: register the servant
+	// directly with the server's ORB.
+	if cfg.Variant == VariantRaw {
+		h := randomNumberHandler()
+		env.Servers[0].ORB().Register(rawObject, func(method string, args []byte) ([]byte, error) {
+			return h(method, args)
+		})
+	}
+
+	invokers := make([]func(context.Context) error, nClients)
+	for i, client := range env.Clients {
+		switch cfg.Variant {
+		case VariantRaw:
+			ref := orb.Ref{Target: env.Servers[0].ID(), Object: rawObject}
+			o := client.ORB()
+			invokers[i] = func(ctx context.Context) error {
+				_, err := o.Invoke(ctx, ref, "rand", nil)
+				return err
+			}
+		default:
+			bc := bindConfigFor(cfg, env)
+			if cfg.SpreadContacts && len(env.Servers) > 0 {
+				bc.Contact = env.Servers[i%len(env.Servers)].ID()
+			}
+			b, err := client.Bind(ctx, bc)
+			if err != nil {
+				return RRPoint{}, err
+			}
+			defer b.Close()
+			mode := cfg.Mode
+			invokers[i] = func(ctx context.Context) error {
+				_, err := b.Invoke(ctx, "rand", nil, mode)
+				return err
+			}
+		}
+	}
+
+	// Warm-up: populate caches and steady-state the protocol machinery.
+	for _, inv := range invokers {
+		for k := 0; k < 2; k++ {
+			if err := inv(ctx); err != nil {
+				return RRPoint{}, fmt.Errorf("warm-up: %w", err)
+			}
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		totalDur  time.Duration
+		totalReqs int
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for _, inv := range invokers {
+		inv := inv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localDur time.Duration
+			localReqs := 0
+			for k := 0; k < cfg.Requests; k++ {
+				t0 := time.Now()
+				if err := inv(ctx); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				localDur += time.Since(t0)
+				localReqs++
+			}
+			mu.Lock()
+			totalDur += localDur
+			totalReqs += localReqs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return RRPoint{}, firstErr
+	}
+	if totalReqs == 0 {
+		return RRPoint{}, fmt.Errorf("no requests completed")
+	}
+	return RRPoint{
+		Clients:    nClients,
+		Latency:    totalDur / time.Duration(totalReqs),
+		Throughput: float64(totalReqs) / elapsed.Seconds(),
+	}, nil
+}
+
+// bindConfigFor maps a variant onto a client binding configuration.
+func bindConfigFor(cfg RRConfig, env *Env) core.BindConfig {
+	timers := evalTimers()
+	timers.Order = cfg.Order
+	bc := core.BindConfig{
+		ServerGroup: env.ServerGroup,
+		Contact:     env.Contact(),
+		GCS:         timers,
+		BindTimeout: 30 * time.Second,
+	}
+	switch cfg.Variant {
+	case VariantClosed:
+		bc.Style = core.Closed
+	case VariantOptimized:
+		bc.Style = core.Open
+		bc.Restricted = true
+		bc.AsyncForward = true
+	default:
+		bc.Style = core.Open
+		bc.Restricted = cfg.Restricted
+	}
+	return bc
+}
+
+// sortedCounts returns a copy of xs in ascending order.
+func sortedCounts(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}

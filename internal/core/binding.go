@@ -1,0 +1,463 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+)
+
+// BindConfig configures a client's binding to a server group.
+type BindConfig struct {
+	// ServerGroup is the group to invoke.
+	ServerGroup ids.GroupID
+	// Contact is any member of the server group (the bootstrap address).
+	Contact ids.ProcessID
+	// Style selects closed or open interaction (default Open).
+	Style Style
+	// Restricted, for open bindings, binds to the server group's leader
+	// instead of an arbitrary member, so every client shares one request
+	// manager — the restricted-group optimisation of §4.2, under which
+	// the request manager never waits for its own forwarding multicast.
+	Restricted bool
+	// AsyncForward additionally enables the asynchronous-message-
+	// forwarding optimisation for wait-for-first calls (§4.2): the
+	// request manager replies from its own execution and forwards
+	// one-way. Combined with Restricted this is the paper's
+	// passive-replication configuration.
+	AsyncForward bool
+	// GCS is the configuration template for the client/server group
+	// (ordering protocol, timers). Leader is filled in automatically with
+	// the request manager. Defaults: sequencer order, event-driven.
+	GCS gcs.GroupConfig
+	// BindTimeout bounds group formation (default 10s).
+	BindTimeout time.Duration
+}
+
+// Binding is a client's attachment to a server group through a
+// client/server group (closed: client + every server; open: client +
+// request manager).
+type Binding struct {
+	svc   *Service
+	cfg   BindConfig
+	group *gcs.Group
+	rm    ids.ProcessID // request manager (open style)
+	// sgMembers is the server group membership learned at bind time,
+	// kept for rebinding after a request manager failure.
+	sgMembers []ids.ProcessID
+
+	mu       sync.Mutex
+	servers  []ids.ProcessID // servers bound into the group (closed style)
+	broken   bool
+	brokenCh chan struct{}
+	viewCh   chan struct{}
+	closed   bool
+
+	loopDone chan struct{}
+}
+
+// Bind forms a client/server group with the configured style and returns
+// the binding (paper fig. 3). The client learns the server group's
+// membership from the contact, creates the group, and pulls the chosen
+// server(s) in.
+func (s *Service) Bind(ctx context.Context, cfg BindConfig) (*Binding, error) {
+	if cfg.Style == 0 {
+		cfg.Style = Open
+	}
+	if cfg.BindTimeout <= 0 {
+		cfg.BindTimeout = 10 * time.Second
+	}
+	cfg.GCS = requestReplyDefaults(cfg.GCS)
+	ctx, cancel := context.WithTimeout(ctx, cfg.BindTimeout)
+	defer cancel()
+
+	members, err := s.ServerGroupMembers(ctx, cfg.Contact, cfg.ServerGroup)
+	if err != nil {
+		return nil, fmt.Errorf("core: bind %q: %w", cfg.ServerGroup, err)
+	}
+	if len(members) == 0 {
+		return nil, ErrNoServers
+	}
+	if cfg.Style == Closed {
+		return s.bindClosed(ctx, cfg, members)
+	}
+
+	// Choose the request manager (open) or the group anchor (closed):
+	// the restricted optimisation pins it to the server group's leader.
+	rm := cfg.Contact
+	if !ids.ContainsProcess(members, rm) || cfg.Restricted {
+		rm = ids.MinProcess(members)
+	}
+
+	s.mu.Lock()
+	s.nextCall++
+	gid := ids.GroupID(fmt.Sprintf("cs/%s/%s/%d", cfg.ServerGroup, s.ID(), s.nextCall))
+	s.mu.Unlock()
+
+	gcfg := cfg.GCS
+	gcfg.Leader = rm
+	group, err := s.node.Create(gid, gcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: bind %q: %w", cfg.ServerGroup, err)
+	}
+
+	b := &Binding{
+		svc:       s,
+		cfg:       cfg,
+		group:     group,
+		rm:        rm,
+		sgMembers: members,
+		brokenCh:  make(chan struct{}),
+		viewCh:    make(chan struct{}, 1),
+		loopDone:  make(chan struct{}),
+	}
+
+	bound, err := s.pullServers(ctx, b, gid, []ids.ProcessID{rm}, gcfg)
+	if err != nil {
+		_ = group.Leave()
+		return nil, err
+	}
+	b.servers = bound
+
+	if err := b.awaitFormation(ctx); err != nil {
+		_ = group.Leave()
+		return nil, err
+	}
+	go b.clientLoop()
+	return b, nil
+}
+
+// bindClosed forms a closed binding (paper fig. 3(i)): the client becomes
+// a member of the server group itself — its client/server group fully
+// overlaps the server group — so its requests travel through the group\'s
+// own total-order multicast and it participates in the group\'s protocol
+// traffic like any member. That participation is exactly what the paper
+// identifies as the closed approach\'s cost on high-latency paths and at
+// high client counts, and its benefit: server failures are masked by the
+// membership service with no rebinding.
+//
+// The client\'s cfg.GCS must match the configuration the server group was
+// created with (ordering protocol and liveness), as for any group join.
+func (s *Service) bindClosed(ctx context.Context, cfg BindConfig, members []ids.ProcessID) (*Binding, error) {
+	group, err := s.node.Join(ctx, cfg.ServerGroup, cfg.Contact, cfg.GCS)
+	if err != nil {
+		return nil, fmt.Errorf("core: closed bind %q: %w", cfg.ServerGroup, err)
+	}
+	b := &Binding{
+		svc:       s,
+		cfg:       cfg,
+		group:     group,
+		rm:        ids.MinProcess(members), // informational: the group leader
+		sgMembers: members,
+		servers:   members,
+		brokenCh:  make(chan struct{}),
+		viewCh:    make(chan struct{}, 1),
+		loopDone:  make(chan struct{}),
+	}
+	go b.clientLoop()
+	return b, nil
+}
+
+// pullServers issues the control binds that make the request manager join
+// the client/server group, in parallel (the paper\'s multithreaded measure
+// for a synchronous-only ORB).
+func (s *Service) pullServers(ctx context.Context, b *Binding, gid ids.GroupID, targets []ids.ProcessID, gcfg gcs.GroupConfig) ([]ids.ProcessID, error) {
+	req := encodeBindRequest(&bindRequest{
+		Group:       gid,
+		ServerGroup: b.cfg.ServerGroup,
+		Contact:     s.ID(),
+		Style:       b.cfg.Style,
+		AsyncFwd:    b.cfg.AsyncForward,
+		Config:      gcfg,
+	})
+	var (
+		mu    sync.Mutex
+		bound []ids.ProcessID
+		wg    sync.WaitGroup
+	)
+	for _, t := range targets {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.invokeControl(ctx, t, "bind", req); err == nil {
+				mu.Lock()
+				bound = append(bound, t)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(bound) == 0 {
+		return nil, fmt.Errorf("core: bind %q: %w", b.cfg.ServerGroup, ErrNoServers)
+	}
+	return ids.SortProcesses(bound), nil
+}
+
+// awaitFormation waits until every bound server appears in the
+// client/server group's view.
+func (b *Binding) awaitFormation(ctx context.Context) error {
+	for {
+		v := b.group.View()
+		all := true
+		for _, srv := range b.servers {
+			if !v.Contains(srv) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: client/server group formation: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// RequestManager returns the member acting as request manager (open
+// style), or the group anchor (closed style).
+func (b *Binding) RequestManager() ids.ProcessID { return b.rm }
+
+// Group exposes the client/server group (for tests and diagnostics).
+func (b *Binding) Group() *gcs.Group { return b.group }
+
+// KnownServers returns the server group membership observed at bind time.
+func (b *Binding) KnownServers() []ids.ProcessID {
+	out := make([]ids.ProcessID, len(b.sgMembers))
+	copy(out, b.sgMembers)
+	return out
+}
+
+// Servers returns the live servers reachable through the binding: for an
+// open binding, the members of the client/server group besides the client;
+// for a closed binding, the known servers still present in the (shared)
+// group view — the view also contains this client and possibly other
+// closed clients, which must not count towards reply quorums.
+func (b *Binding) Servers() []ids.ProcessID {
+	me := b.svc.ID()
+	v := b.group.View()
+	var out []ids.ProcessID
+	if b.cfg.Style == Closed {
+		for _, m := range b.sgMembers {
+			if m != me && v.Contains(m) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	for _, m := range v.Members {
+		if m != me {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Broken reports whether the binding has lost its request manager (open)
+// or all of its servers (closed).
+func (b *Binding) Broken() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.broken
+}
+
+// Close departs the client/server group; the servers observe the view
+// change and release their end.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.markBrokenLocked()
+	b.mu.Unlock()
+	err := b.group.Leave()
+	<-b.loopDone
+	return err
+}
+
+func (b *Binding) markBrokenLocked() {
+	if !b.broken {
+		b.broken = true
+		close(b.brokenCh)
+	}
+}
+
+// clientLoop consumes the client/server group's delivery stream, routing
+// aggregated replies and watching the membership.
+func (b *Binding) clientLoop() {
+	defer close(b.loopDone)
+	me := b.svc.ID()
+	// The event stream replays history from the founding singleton view;
+	// membership judgements only start at the fully-formed view observed
+	// by awaitFormation.
+	formedSeq := b.group.View().Seq
+	for ev := range b.group.Events() {
+		if ev.Type == gcs.EventView && ev.View.Seq < formedSeq {
+			continue
+		}
+		switch ev.Type {
+		case gcs.EventDeliver:
+			if ev.Deliver.Sender == me {
+				continue
+			}
+			msg, err := decodePayload(ev.Deliver.Payload)
+			if err != nil {
+				continue
+			}
+			if set, ok := msg.(*invReplySet); ok {
+				b.svc.routeReplySet(set)
+			}
+		case gcs.EventView:
+			b.onView(ev.View)
+		}
+	}
+	b.mu.Lock()
+	b.markBrokenLocked()
+	b.mu.Unlock()
+}
+
+// onView reacts to a membership change of the client/server group.
+func (b *Binding) onView(v *gcs.View) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.cfg.Style {
+	case Open:
+		if !v.Contains(b.rm) {
+			// The request manager failed or disconnected: the binding is
+			// disbanded and the client must rebind (paper §2.1).
+			b.markBrokenLocked()
+		}
+	case Closed:
+		// Server failures are masked; the binding only breaks once every
+		// known server has gone.
+		alive := 0
+		for _, m := range b.sgMembers {
+			if v.Contains(m) {
+				alive++
+			}
+		}
+		if alive == 0 {
+			b.markBrokenLocked()
+		}
+	}
+	select {
+	case b.viewCh <- struct{}{}:
+	default:
+	}
+}
+
+// Invoke performs one invocation on the server group with a fresh call
+// number.
+func (b *Binding) Invoke(ctx context.Context, method string, args []byte, mode ReplyMode) ([]Reply, error) {
+	return b.InvokeCall(ctx, b.svc.newCall(), method, args, mode)
+}
+
+// InvokeCall performs an invocation with an explicit call identifier;
+// retrying with the same identifier after a rebind never re-executes at
+// the servers (§4.1). The smart proxy relies on this.
+func (b *Binding) InvokeCall(ctx context.Context, call ids.CallID, method string, args []byte, mode ReplyMode) ([]Reply, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if b.broken {
+		b.mu.Unlock()
+		return nil, ErrBindingBroken
+	}
+	b.mu.Unlock()
+
+	w := b.svc.registerWaiter(call)
+	defer b.svc.dropWaiter(call)
+	// Keep the group's failure detection alive while we wait: an idle
+	// event-driven group would otherwise never notice a request manager
+	// that died after the request stabilised but before replying.
+	b.group.Attend()
+	defer b.group.Unattend()
+
+	req := &invRequest{
+		Call:   call,
+		Mode:   mode,
+		Method: method,
+		Args:   args,
+		Client: b.svc.ID(),
+		Style:  b.cfg.Style,
+	}
+	if err := b.group.Multicast(ctx, encodeRequest(req)); err != nil {
+		if errors.Is(err, gcs.ErrLeft) {
+			return nil, ErrBindingBroken
+		}
+		return nil, err
+	}
+	if mode == OneWay {
+		return nil, nil
+	}
+	if b.cfg.Style == Open {
+		return b.awaitReplySet(ctx, w)
+	}
+	return b.awaitDirectReplies(ctx, w, mode)
+}
+
+// awaitReplySet waits for the request manager's aggregated answer.
+func (b *Binding) awaitReplySet(ctx context.Context, w *callWaiter) ([]Reply, error) {
+	select {
+	case set := <-w.set:
+		if set.Err != "" {
+			return nil, fmt.Errorf("core: request manager: %s", set.Err)
+		}
+		out := make([]Reply, 0, len(set.Replies))
+		for _, rep := range set.Replies {
+			out = append(out, rep.toReply())
+		}
+		if len(out) == 0 {
+			return nil, errors.New("core: empty reply set")
+		}
+		return out, nil
+	case <-b.brokenCh:
+		return nil, ErrBindingBroken
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// awaitDirectReplies gathers closed-style per-server replies until the
+// mode's quorum against the live membership is met.
+func (b *Binding) awaitDirectReplies(ctx context.Context, w *callWaiter, mode ReplyMode) ([]Reply, error) {
+	got := make(map[ids.ProcessID]invReply)
+	for {
+		if len(got) >= mode.need(len(b.Servers())) && len(got) > 0 {
+			out := make([]Reply, 0, len(got))
+			for _, srv := range ids.SortProcesses(keysOf(got)) {
+				out = append(out, got[srv].toReply())
+			}
+			return out, nil
+		}
+		select {
+		case rep := <-w.replies:
+			got[rep.Server] = rep
+		case <-b.viewCh:
+			// membership changed: quorum size re-evaluates
+		case <-b.brokenCh:
+			return nil, ErrBindingBroken
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func keysOf(m map[ids.ProcessID]invReply) []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"testing"
+
+	"newtop/internal/ids"
+)
+
+func callIDSeed() ids.CallID { return ids.CallID{Client: "c", Number: 7} }
+
+// FuzzDecodePayload feeds arbitrary bytes to the invocation-layer payload
+// decoder. Run with `go test -fuzz=FuzzDecodePayload ./internal/core`.
+func FuzzDecodePayload(f *testing.F) {
+	f.Add(encodeRequest(&invRequest{Call: callIDSeed(), Method: "m", Args: []byte("a"), Style: Open}))
+	f.Add(encodeReply(invReply{Call: callIDSeed(), Server: "s", Payload: []byte("p")}))
+	f.Add(encodeReplySet(&invReplySet{Call: callIDSeed()}))
+	f.Add(encodeHello())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodePayload(data)
+		_, _ = decodeBindRequest(data)
+		_, _ = decodeStateSnapshot(data)
+		_, _ = DecodeGroupRef(data)
+	})
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+)
+
+// G2G is a group-to-group binding (paper §4.3): the members of a client
+// group gx invoke a server group gy through a client monitor group
+// gz = gx ∪ {request manager ∈ gy}. Every gx member issues each call with
+// the same deterministic call number; the request manager filters the
+// duplicates, forwards one copy into gy, gathers the replies and
+// multicasts the aggregate in gz so every member of gx receives it
+// atomically. Only one inter-group multicast occurs per call — the design
+// goal the paper states for minimising gx↔gy traffic.
+type G2G struct {
+	svc         *Service
+	clientGroup ids.GroupID
+	group       *gcs.Group // gz, the client monitor group
+	rm          ids.ProcessID
+
+	mu       sync.Mutex
+	broken   bool
+	brokenCh chan struct{}
+	closed   bool
+
+	loopDone chan struct{}
+}
+
+// BindGroupToGroup attaches this member of clientGroup to a server group
+// through a shared client monitor group. Every member of the client group
+// must call it with the same configuration; cfg.Contact names the server
+// that acts as request manager. The client group's leader (lowest member)
+// creates the monitor group and pulls the request manager in; the other
+// members join through the leader.
+func (s *Service) BindGroupToGroup(ctx context.Context, clientGroup *gcs.Group, cfg BindConfig) (*G2G, error) {
+	if cfg.Contact.Nil() {
+		return nil, errors.New("core: group-to-group bind needs a contact (the request manager)")
+	}
+	if cfg.BindTimeout <= 0 {
+		cfg.BindTimeout = 10 * time.Second
+	}
+	cfg.GCS = requestReplyDefaults(cfg.GCS)
+	ctx, cancel := context.WithTimeout(ctx, cfg.BindTimeout)
+	defer cancel()
+
+	gzID := ids.GroupID(fmt.Sprintf("gz/%s/%s", clientGroup.ID(), cfg.ServerGroup))
+	rm := cfg.Contact
+	gcfg := cfg.GCS
+	gcfg.Leader = rm
+
+	cv := clientGroup.View()
+	leader := ids.MinProcess(cv.Members)
+
+	var gz *gcs.Group
+	var err error
+	if s.ID() == leader {
+		gz, err = s.node.Create(gzID, gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: create monitor group: %w", err)
+		}
+		bind := encodeBindRequest(&bindRequest{
+			Group:       gzID,
+			ServerGroup: cfg.ServerGroup,
+			Contact:     s.ID(),
+			Style:       Open,
+			Monitor:     true,
+			AsyncFwd:    cfg.AsyncForward,
+			Config:      gcfg,
+		})
+		if _, err := s.invokeControl(ctx, rm, "bind", bind); err != nil {
+			_ = gz.Leave()
+			return nil, fmt.Errorf("core: bind request manager: %w", err)
+		}
+	} else {
+		gz, err = s.node.Join(ctx, gzID, leader, gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: join monitor group: %w", err)
+		}
+	}
+
+	g := &G2G{
+		svc:         s,
+		clientGroup: clientGroup.ID(),
+		group:       gz,
+		rm:          rm,
+		brokenCh:    make(chan struct{}),
+		loopDone:    make(chan struct{}),
+	}
+
+	// Wait for the request manager (and ourselves) to be in the view.
+	for {
+		v := gz.View()
+		if v.Contains(rm) && v.Contains(s.ID()) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			_ = gz.Leave()
+			return nil, fmt.Errorf("core: monitor group formation: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	go g.loop()
+	return g, nil
+}
+
+// Group exposes the client monitor group.
+func (g *G2G) Group() *gcs.Group { return g.group }
+
+// RequestManager returns the server acting as request manager.
+func (g *G2G) RequestManager() ids.ProcessID { return g.rm }
+
+// Broken reports whether the request manager has left the monitor group.
+func (g *G2G) Broken() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.broken
+}
+
+// Close departs the monitor group.
+func (g *G2G) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	if !g.broken {
+		g.broken = true
+		close(g.brokenCh)
+	}
+	g.mu.Unlock()
+	err := g.group.Leave()
+	<-g.loopDone
+	return err
+}
+
+func (g *G2G) loop() {
+	defer close(g.loopDone)
+	formedSeq := g.group.View().Seq
+	for ev := range g.group.Events() {
+		if ev.Type == gcs.EventView && ev.View.Seq < formedSeq {
+			continue
+		}
+		switch ev.Type {
+		case gcs.EventDeliver:
+			if ev.Deliver.Sender != g.rm {
+				continue // sibling members' duplicate requests
+			}
+			msg, err := decodePayload(ev.Deliver.Payload)
+			if err != nil {
+				continue
+			}
+			if set, ok := msg.(*invReplySet); ok {
+				g.svc.routeReplySet(set)
+			}
+		case gcs.EventView:
+			if !ev.View.Contains(g.rm) {
+				g.mu.Lock()
+				if !g.broken {
+					g.broken = true
+					close(g.brokenCh)
+				}
+				g.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Invoke issues one group-to-group call. Every member of the client group
+// must invoke with the same call number (e.g. an index derived from the
+// client group's own totally-ordered delivery stream) so the request
+// manager can filter duplicates; the aggregated reply is delivered to all
+// members.
+func (g *G2G) Invoke(ctx context.Context, number uint64, method string, args []byte, mode ReplyMode) ([]Reply, error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if g.broken {
+		g.mu.Unlock()
+		return nil, ErrBindingBroken
+	}
+	g.mu.Unlock()
+
+	call := ids.CallID{Client: ids.ProcessID("g2g/" + string(g.group.ID())), Number: number}
+	w := g.svc.registerWaiter(call)
+	defer g.svc.dropWaiter(call)
+	g.group.Attend()
+	defer g.group.Unattend()
+
+	req := &invRequest{
+		Call:   call,
+		Mode:   mode,
+		Method: method,
+		Args:   args,
+		Client: g.svc.ID(),
+		Style:  Open,
+	}
+	if err := g.group.Multicast(ctx, encodeRequest(req)); err != nil {
+		if errors.Is(err, gcs.ErrLeft) {
+			return nil, ErrBindingBroken
+		}
+		return nil, err
+	}
+	if mode == OneWay {
+		return nil, nil
+	}
+	select {
+	case set := <-w.set:
+		if set.Err != "" {
+			return nil, fmt.Errorf("core: request manager: %s", set.Err)
+		}
+		out := make([]Reply, 0, len(set.Replies))
+		for _, rep := range set.Replies {
+			out = append(out, rep.toReply())
+		}
+		if len(out) == 0 {
+			return nil, errors.New("core: empty reply set")
+		}
+		return out, nil
+	case <-g.brokenCh:
+		return nil, ErrBindingBroken
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/ids"
+)
+
+func TestGroupRefRoundTrip(t *testing.T) {
+	ref := core.GroupRef{Group: "sg", Members: []ids.ProcessID{"b", "a", "c"}}
+	got, err := core.DecodeGroupRef(ref.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Group != ref.Group || len(got.Members) != 3 || got.Primary() != "b" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if (core.GroupRef{}).Primary() != "" {
+		t.Fatal("empty ref primary")
+	}
+	f := func(b []byte) bool {
+		_, _ = core.DecodeGroupRef(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupRefOfAndDial(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	ref, err := w.clients[0].GroupRefOf(ctxT(t, 5*time.Second), "s01", "sg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Primary() != "s01" || len(ref.Members) != 3 {
+		t.Fatalf("ref = %v", ref)
+	}
+
+	// Kill the primary before dialing: DialRef must fall through to a
+	// surviving embedded member.
+	w.net.Sim().Crash("s01")
+	p, err := w.clients[0].DialRef(ctxT(t, 60*time.Second), ref, core.BindConfig{
+		GCS:         testTimers(),
+		BindTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer p.Close()
+	replies, err := p.Invoke(ctxT(t, 20*time.Second), "echo", []byte("via-ref"), core.First)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) == 0 || replies[0].Server == "s01" {
+		t.Fatalf("replies = %+v", replies)
+	}
+}

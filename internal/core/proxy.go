@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"newtop/internal/ids"
+)
+
+// Proxy is the paper's "smart proxy" (§2.1): a binding wrapper that, when
+// the request manager fails and the client/server group is disbanded,
+// transparently rebinds to a surviving member of the server group and
+// retries the call with its original call number — the retained replies at
+// the servers guarantee the retry never re-executes.
+type Proxy struct {
+	svc *Service
+	cfg BindConfig
+
+	mu      sync.Mutex
+	binding *Binding
+	// members is the most recent server-group membership, used to pick a
+	// new contact when the old one has failed.
+	members []ids.ProcessID
+	closed  bool
+}
+
+// maxRebinds bounds the rebind attempts of a single invocation.
+const maxRebinds = 4
+
+// NewProxy binds once and returns the self-rebinding proxy.
+func (s *Service) NewProxy(ctx context.Context, cfg BindConfig) (*Proxy, error) {
+	p := &Proxy{svc: s, cfg: cfg}
+	if err := p.rebind(ctx, ""); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Binding returns the current underlying binding.
+func (p *Proxy) Binding() *Binding {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.binding
+}
+
+// Close releases the current binding.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	b := p.binding
+	p.closed = true
+	p.binding = nil
+	p.mu.Unlock()
+	if b != nil {
+		return b.Close()
+	}
+	return nil
+}
+
+// Invoke calls the server group, rebinding and retrying (with the same
+// call number) whenever the binding breaks under it.
+func (p *Proxy) Invoke(ctx context.Context, method string, args []byte, mode ReplyMode) ([]Reply, error) {
+	call := p.svc.newCall()
+	var lastErr error
+	for attempt := 0; attempt <= maxRebinds; attempt++ {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		b := p.binding
+		p.mu.Unlock()
+
+		if b == nil || b.Broken() {
+			var avoid ids.ProcessID
+			if b != nil {
+				avoid = b.RequestManager()
+			}
+			if err := p.rebind(ctx, avoid); err != nil {
+				lastErr = err
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			continue
+		}
+
+		replies, err := b.InvokeCall(ctx, call, method, args, mode)
+		if err == nil {
+			return replies, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrBindingBroken) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("core: proxy exhausted rebinds: %w", lastErr)
+}
+
+// rebind forms a fresh binding, avoiding the failed request manager.
+func (p *Proxy) rebind(ctx context.Context, avoid ids.ProcessID) error {
+	p.mu.Lock()
+	old := p.binding
+	p.binding = nil
+	candidates := make([]ids.ProcessID, len(p.members))
+	copy(candidates, p.members)
+	p.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+
+	// Contact order: configured contact first, then the last known
+	// membership, skipping the member we believe failed.
+	contacts := make([]ids.ProcessID, 0, len(candidates)+1)
+	if !p.cfg.Contact.Nil() && p.cfg.Contact != avoid {
+		contacts = append(contacts, p.cfg.Contact)
+	}
+	for _, m := range candidates {
+		if m != avoid && !ids.ContainsProcess(contacts, m) {
+			contacts = append(contacts, m)
+		}
+	}
+	if len(contacts) == 0 {
+		contacts = append(contacts, p.cfg.Contact)
+	}
+
+	var lastErr error
+	for _, contact := range contacts {
+		cfg := p.cfg
+		cfg.Contact = contact
+		if cfg.Restricted && avoid != "" {
+			// The restricted request manager just failed: fall back to
+			// an arbitrary surviving member until the group elects a new
+			// leader, rather than re-binding to the corpse.
+			cfg.Restricted = false
+		}
+		b, err := p.svc.Bind(ctx, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cfg.Style == Open && b.RequestManager() == avoid {
+			_ = b.Close()
+			lastErr = fmt.Errorf("core: rebind landed on failed manager %s", avoid)
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = b.Close()
+			return ErrClosed
+		}
+		p.binding = b
+		p.members = b.KnownServers()
+		p.mu.Unlock()
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoServers
+	}
+	return fmt.Errorf("core: rebind: %w", lastErr)
+}

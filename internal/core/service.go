@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/orb"
+	"newtop/internal/transport"
+)
+
+// controlObject is the ORB servant every Service registers; clients use it
+// to discover server-group membership, to pull servers into client/server
+// groups, and to deliver closed-style direct replies.
+const controlObject = "newtop"
+
+// Service is one process's NewTop service object (NSO). It owns the
+// process's transport endpoint, multiplexing it between the group
+// communication service and the mini-ORB, and hosts any number of server
+// roles and client bindings.
+type Service struct {
+	mux  *transport.Mux
+	node *gcs.Node
+	orb  *orb.ORB
+
+	mu       sync.Mutex
+	servers  map[ids.GroupID]*Server
+	waiters  map[ids.CallID]*callWaiter
+	nextCall uint64
+	closed   bool
+}
+
+// callWaiter receives the replies for one outstanding invocation.
+type callWaiter struct {
+	replies chan invReply     // closed-style per-server replies
+	set     chan *invReplySet // open-style aggregated reply
+}
+
+// NewService starts an NSO on the endpoint. The service owns the endpoint.
+func NewService(ep transport.Endpoint) *Service {
+	mux := transport.NewMux(ep)
+	s := &Service{
+		mux:     mux,
+		node:    gcs.NewNode(mux.Channel(transport.ProtoGCS)),
+		orb:     orb.New(mux.Channel(transport.ProtoORB)),
+		servers: make(map[ids.GroupID]*Server),
+		waiters: make(map[ids.CallID]*callWaiter),
+	}
+	s.orb.Register(controlObject, s.control)
+	return s
+}
+
+// ID returns the process identifier.
+func (s *Service) ID() ids.ProcessID { return s.node.ID() }
+
+// Node exposes the underlying group communication service (for peer
+// participation groups, which need no invocation machinery).
+func (s *Service) Node() *gcs.Node { return s.node }
+
+// ORB exposes the underlying object request broker.
+func (s *Service) ORB() *orb.ORB { return s.orb }
+
+// Close shuts down every server role and binding, then the GCS node, the
+// ORB and the endpoint.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	servers := make([]*Server, 0, len(s.servers))
+	for _, srv := range s.servers {
+		servers = append(servers, srv)
+	}
+	s.mu.Unlock()
+
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+	_ = s.node.Close()
+	_ = s.orb.Close()
+	return s.mux.Close()
+}
+
+// newCall allocates a fresh call identifier.
+func (s *Service) newCall() ids.CallID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextCall++
+	return ids.CallID{Client: s.ID(), Number: s.nextCall}
+}
+
+// registerWaiter installs the reply sink for one call.
+func (s *Service) registerWaiter(call ids.CallID) *callWaiter {
+	w := &callWaiter{
+		replies: make(chan invReply, 64),
+		set:     make(chan *invReplySet, 1),
+	}
+	s.mu.Lock()
+	s.waiters[call] = w
+	s.mu.Unlock()
+	return w
+}
+
+// dropWaiter removes the reply sink for one call.
+func (s *Service) dropWaiter(call ids.CallID) {
+	s.mu.Lock()
+	delete(s.waiters, call)
+	s.mu.Unlock()
+}
+
+// routeReply hands a closed-style direct reply to its waiter.
+func (s *Service) routeReply(rep invReply) {
+	s.mu.Lock()
+	w := s.waiters[rep.Call]
+	s.mu.Unlock()
+	if w == nil {
+		return // late reply after the caller completed or gave up
+	}
+	select {
+	case w.replies <- rep:
+	default: // waiter saturated; the call already has what it needs
+	}
+}
+
+// routeReplySet hands an open-style aggregated reply to its waiter.
+func (s *Service) routeReplySet(set *invReplySet) {
+	s.mu.Lock()
+	w := s.waiters[set.Call]
+	s.mu.Unlock()
+	if w == nil {
+		return
+	}
+	select {
+	case w.set <- set:
+	default:
+	}
+}
+
+// serverFor returns the local server role for a group.
+func (s *Service) serverFor(gid ids.GroupID) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.servers[gid]
+}
+
+// control is the "newtop" ORB servant.
+func (s *Service) control(method string, args []byte) ([]byte, error) {
+	switch method {
+	case "info":
+		srv := s.serverFor(ids.GroupID(args))
+		if srv == nil {
+			return nil, fmt.Errorf("core: not serving group %q", args)
+		}
+		return encodeProcs(srv.ServerRoster()), nil
+	case "bind":
+		req, err := decodeBindRequest(args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.handleBind(req)
+	case "state":
+		srv := s.serverFor(ids.GroupID(args))
+		if srv == nil {
+			return nil, fmt.Errorf("core: not serving group %q", args)
+		}
+		snap, err := srv.takeSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		return encodeStateSnapshot(snap), nil
+	case "ping":
+		return []byte("pong"), nil
+	case "reply":
+		r := wireReplyFromBytes(args)
+		if r != nil {
+			s.routeReply(*r)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("core: unknown control method %q", method)
+	}
+}
+
+// wireReplyFromBytes decodes a direct reply delivered over the control
+// object.
+func wireReplyFromBytes(b []byte) *invReply {
+	msg, err := decodePayload(b)
+	if err != nil {
+		return nil
+	}
+	rep, ok := msg.(*invReply)
+	if !ok {
+		return nil
+	}
+	return rep
+}
+
+// handleBind joins this server into a client/server (or client monitor)
+// group and starts serving it.
+func (s *Service) handleBind(req *bindRequest) error {
+	srv := s.serverFor(req.ServerGroup)
+	if srv == nil {
+		return fmt.Errorf("core: not serving group %q", req.ServerGroup)
+	}
+	return srv.joinBindingGroup(req)
+}
+
+// sendDirectReply delivers a closed-style reply straight to the client's
+// NSO (the paper's m5: one CORBA invocation from server to client).
+func (s *Service) sendDirectReply(client ids.ProcessID, rep invReply) {
+	_ = s.orb.InvokeOneWay(orb.Ref{Target: client, Object: controlObject}, "reply", encodeReply(rep))
+}
+
+// invokeControl performs a control call on a remote NSO.
+func (s *Service) invokeControl(ctx context.Context, target ids.ProcessID, method string, args []byte) ([]byte, error) {
+	return s.orb.Invoke(ctx, orb.Ref{Target: target, Object: controlObject}, method, args)
+}
+
+// ServerGroupMembers asks any member of a server group for its current
+// membership.
+func (s *Service) ServerGroupMembers(ctx context.Context, contact ids.ProcessID, group ids.GroupID) ([]ids.ProcessID, error) {
+	b, err := s.invokeControl(ctx, contact, "info", []byte(group))
+	if err != nil {
+		return nil, err
+	}
+	return decodeProcs(b)
+}
+
+// defaultRMWait bounds how long a request manager gathers replies before
+// answering with what it has.
+const defaultRMWait = 10 * time.Second
+
+// ensure the gcs config template carries the right defaults for
+// request-reply groups: event-driven liveness unless the caller chose.
+func requestReplyDefaults(cfg gcs.GroupConfig) gcs.GroupConfig {
+	if cfg.Order == 0 {
+		cfg.Order = gcs.OrderSequencer
+	}
+	if cfg.Liveness == 0 {
+		cfg.Liveness = gcs.EventDriven
+	}
+	return cfg
+}
+
+// DebugNewCall exposes call allocation for white-box tests.
+func (s *Service) DebugNewCall() ids.CallID { return s.newCall() }

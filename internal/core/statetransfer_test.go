@@ -1,0 +1,297 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+// kvState is a snapshot-able replicated map used by the state-transfer
+// tests.
+type kvState struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newKVState() *kvState { return &kvState{m: make(map[string]string)} }
+
+func (kv *kvState) handle(method string, args []byte) ([]byte, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	switch method {
+	case "put":
+		k, v, _ := strings.Cut(string(args), "=")
+		kv.m[k] = v
+		return []byte("ok"), nil
+	case "get":
+		return []byte(kv.m[string(args)]), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func (kv *kvState) snapshot() ([]byte, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	keys := make([]string, 0, len(kv.m))
+	for k := range kv.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%s\n", k, kv.m[k])
+	}
+	return []byte(sb.String()), nil
+}
+
+func (kv *kvState) restore(b []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.m = make(map[string]string)
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return fmt.Errorf("bad snapshot line %q", line)
+		}
+		kv.m[k] = v
+	}
+	return nil
+}
+
+func (kv *kvState) dump() map[string]string {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	out := make(map[string]string, len(kv.m))
+	for k, v := range kv.m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestStateTransferCatchesUpJoiningReplica(t *testing.T) {
+	net := memnet.New(netsim.New(netsim.FastProfile(), 11))
+	ctx := ctxT(t, 30*time.Second)
+
+	mkSvc := func(id ids.ProcessID) *core.Service {
+		ep, err := net.Endpoint(id, netsim.SiteLAN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := core.NewService(ep)
+		t.Cleanup(func() { _ = svc.Close() })
+		return svc
+	}
+
+	// Two founding replicas.
+	states := map[ids.ProcessID]*kvState{}
+	var contact ids.ProcessID
+	for i := 0; i < 2; i++ {
+		id := ids.ProcessID(fmt.Sprintf("r%d", i))
+		svc := mkSvc(id)
+		st := newKVState()
+		states[id] = st
+		if _, err := svc.Serve(ctx, core.ServeConfig{
+			Group:    "kv",
+			Contact:  contact,
+			Handler:  st.handle,
+			Snapshot: st.snapshot,
+			Restore:  st.restore,
+			GCS:      testTimers(),
+		}); err != nil {
+			t.Fatalf("serve %s: %v", id, err)
+		}
+		if i == 0 {
+			contact = id
+		}
+	}
+
+	// A client writes some state before the new replica exists.
+	client := mkSvc("z-client")
+	b, err := client.Bind(ctx, core.BindConfig{
+		ServerGroup: "kv", Contact: contact, Style: core.Open, GCS: testTimers(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := b.Invoke(ctx, "put", []byte(fmt.Sprintf("k%d=v%d", i, i)), core.All); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// A third replica joins with state transfer, using the non-leader as
+	// donor.
+	newSvc := mkSvc("r9")
+	newState := newKVState()
+	states["r9"] = newState
+	if _, err := newSvc.ServeReplica(ctx, core.ServeConfig{
+		Group:    "kv",
+		Contact:  "r1",
+		Handler:  newState.handle,
+		Snapshot: newState.snapshot,
+		Restore:  newState.restore,
+		GCS:      testTimers(),
+	}); err != nil {
+		t.Fatalf("ServeReplica: %v", err)
+	}
+
+	// Post-join traffic must reach all three replicas.
+	b2, err := client.Bind(ctx, core.BindConfig{
+		ServerGroup: "kv", Contact: contact, Style: core.Open, GCS: testTimers(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if _, err := b2.Invoke(ctx, "put", []byte("after=join"), core.All); err != nil {
+		t.Fatalf("post-join put: %v", err)
+	}
+
+	// Eventually, all three replicas hold the identical 11-entry map.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ref := states["r0"].dump()
+		same := len(ref) == 11
+		for id, st := range states {
+			d := st.dump()
+			if len(d) != len(ref) {
+				same = false
+				break
+			}
+			for k, v := range ref {
+				if d[k] != v {
+					t.Fatalf("replica %s diverged at %q: %q vs %q", id, k, d[k], v)
+				}
+			}
+		}
+		if same {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never converged: r0=%d r1=%d r9=%d entries",
+				len(states["r0"].dump()), len(states["r1"].dump()), len(states["r9"].dump()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeReplicaValidation(t *testing.T) {
+	w := newWorld(t, 1, 0)
+	_, err := w.servers[0].ServeReplica(ctxT(t, time.Second), core.ServeConfig{
+		Group:   "g2",
+		Handler: func(string, []byte) ([]byte, error) { return nil, nil },
+	})
+	if err == nil {
+		t.Fatal("ServeReplica without hooks must fail")
+	}
+}
+
+func TestStateTransferUnderLoad(t *testing.T) {
+	net := memnet.New(netsim.New(netsim.FastProfile(), 12))
+	ctx := ctxT(t, 60*time.Second)
+
+	mkSvc := func(id ids.ProcessID) *core.Service {
+		ep, err := net.Endpoint(id, netsim.SiteLAN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := core.NewService(ep)
+		t.Cleanup(func() { _ = svc.Close() })
+		return svc
+	}
+	states := map[ids.ProcessID]*kvState{}
+	serve := func(svc *core.Service, id ids.ProcessID, contact ids.ProcessID, replica bool) {
+		st := newKVState()
+		states[id] = st
+		cfg := core.ServeConfig{
+			Group: "kv", Contact: contact,
+			Handler: st.handle, Snapshot: st.snapshot, Restore: st.restore,
+			GCS: testTimers(),
+		}
+		var err error
+		if replica {
+			_, err = svc.ServeReplica(ctx, cfg)
+		} else {
+			_, err = svc.Serve(ctx, cfg)
+		}
+		if err != nil {
+			t.Fatalf("serve %s: %v", id, err)
+		}
+	}
+	s0, s1 := mkSvc("r0"), mkSvc("r1")
+	serve(s0, "r0", "", false)
+	serve(s1, "r1", "r0", false)
+
+	client := mkSvc("z")
+	b, err := client.Bind(ctx, core.BindConfig{ServerGroup: "kv", Contact: "r0", Style: core.Open, GCS: testTimers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Keep writing while the replica joins mid-stream.
+	stop := make(chan struct{})
+	var writerErr error
+	var wrote int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := b.Invoke(ctx, "put", []byte(fmt.Sprintf("live%d=x%d", i, i)), core.Majority); err != nil {
+				writerErr = err
+				return
+			}
+			wrote++
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	s9 := mkSvc("r9")
+	serve(s9, "r9", "r1", true)
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+	if wrote == 0 {
+		t.Fatal("no writes completed")
+	}
+
+	// All replicas converge to the same map.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		a, c, d := states["r0"].dump(), states["r1"].dump(), states["r9"].dump()
+		if len(a) == wrote && len(c) == wrote && len(d) == wrote {
+			for k, v := range a {
+				if c[k] != v || d[k] != v {
+					t.Fatalf("divergence at %q", k)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never converged: wrote=%d r0=%d r1=%d r9=%d", wrote, len(a), len(c), len(d))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

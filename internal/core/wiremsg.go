@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/wire"
+)
+
+// Payload kinds multicast inside client/server, server and client monitor
+// groups.
+const (
+	payloadRequest byte = iota + 1
+	payloadReply
+	payloadReplySet
+	payloadHello
+)
+
+// encodeHello announces "I am a server" inside the server group; closed
+// clients share that group, so the server roster (reply quorums, the
+// membership answered by the "info" control call) is maintained by these
+// announcements intersected with the group view.
+func encodeHello() []byte { return []byte{payloadHello} }
+
+// invRequest is a client request travelling through the invocation layer:
+// multicast by the client in its client/server group, and re-issued by the
+// request manager inside the server group (Forwarded set).
+type invRequest struct {
+	Call   ids.CallID
+	Mode   ReplyMode
+	Method string
+	Args   []byte
+	// Client is the ultimate invoker (for closed-style direct replies).
+	Client ids.ProcessID
+	// Style is how the client bound to the group.
+	Style Style
+	// Forwarded marks a request re-issued by a request manager inside the
+	// server group.
+	Forwarded bool
+	// AsyncFwd marks the asynchronous-message-forwarding optimisation:
+	// the request manager has already replied; other members execute for
+	// state continuity but do not multicast replies.
+	AsyncFwd bool
+}
+
+// invReply is one server's reply, multicast inside the server group (open
+// style, for the request manager to gather) or sent point-to-point to the
+// client (closed style).
+type invReply struct {
+	Call    ids.CallID
+	Server  ids.ProcessID
+	Payload []byte
+	Err     string
+}
+
+// invReplySet is the request manager's aggregated answer, multicast in the
+// client/server (or client monitor) group.
+type invReplySet struct {
+	Call    ids.CallID
+	Replies []invReply
+	// Err reports a request-manager-level failure (e.g. no servers).
+	Err string
+}
+
+func (r invReply) toReply() Reply {
+	out := Reply{Server: r.Server, Payload: r.Payload}
+	if r.Err != "" {
+		out.Err = fmt.Errorf("core: server %s: %s", r.Server, r.Err)
+	}
+	return out
+}
+
+func encodeRequest(m *invRequest) []byte {
+	w := wire.NewWriter()
+	w.Byte(payloadRequest)
+	w.String(string(m.Call.Client))
+	w.Uvarint(m.Call.Number)
+	w.Uvarint(uint64(m.Mode))
+	w.String(m.Method)
+	w.Blob(m.Args)
+	w.String(string(m.Client))
+	w.Uvarint(uint64(m.Style))
+	w.Bool(m.Forwarded)
+	w.Bool(m.AsyncFwd)
+	return w.Bytes()
+}
+
+func putReply(w *wire.Writer, m invReply) {
+	w.String(string(m.Call.Client))
+	w.Uvarint(m.Call.Number)
+	w.String(string(m.Server))
+	w.Blob(m.Payload)
+	w.String(m.Err)
+}
+
+func getReply(r *wire.Reader) invReply {
+	return invReply{
+		Call:    ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
+		Server:  ids.ProcessID(r.String()),
+		Payload: r.Blob(),
+		Err:     r.String(),
+	}
+}
+
+func encodeReply(m invReply) []byte {
+	w := wire.NewWriter()
+	w.Byte(payloadReply)
+	putReply(w, m)
+	return w.Bytes()
+}
+
+func encodeReplySet(m *invReplySet) []byte {
+	w := wire.NewWriter()
+	w.Byte(payloadReplySet)
+	w.String(string(m.Call.Client))
+	w.Uvarint(m.Call.Number)
+	w.Uvarint(uint64(len(m.Replies)))
+	for _, rep := range m.Replies {
+		putReply(w, rep)
+	}
+	w.String(m.Err)
+	return w.Bytes()
+}
+
+// decodePayload parses one invocation-layer multicast payload.
+func decodePayload(b []byte) (any, error) {
+	r := wire.NewReader(b)
+	kind := r.Byte()
+	var msg any
+	switch kind {
+	case payloadRequest:
+		msg = &invRequest{
+			Call:      ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
+			Mode:      ReplyMode(r.Uvarint()),
+			Method:    r.String(),
+			Args:      r.Blob(),
+			Client:    ids.ProcessID(r.String()),
+			Style:     Style(r.Uvarint()),
+			Forwarded: r.Bool(),
+			AsyncFwd:  r.Bool(),
+		}
+	case payloadReply:
+		rep := getReply(r)
+		msg = &rep
+	case payloadHello:
+		msg = helloMsg{}
+	case payloadReplySet:
+		set := &invReplySet{
+			Call: ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
+		}
+		n := r.Uvarint()
+		if r.Err() == nil && n <= uint64(r.Remaining()) {
+			set.Replies = make([]invReply, 0, n)
+			for i := uint64(0); i < n; i++ {
+				set.Replies = append(set.Replies, getReply(r))
+			}
+		}
+		set.Err = r.String()
+		msg = set
+	default:
+		return nil, fmt.Errorf("core: unknown payload kind %d", kind)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// helloMsg is the decoded form of a server announcement.
+type helloMsg struct{}
+
+// bindRequest is the control call ("newtop.bind") a client makes on a
+// server's NSO to have it join a client/server or client monitor group.
+type bindRequest struct {
+	// Group is the client/server (or monitor) group to join.
+	Group ids.GroupID
+	// ServerGroup is the group being served.
+	ServerGroup ids.GroupID
+	// Contact is the member to join through (the client, usually).
+	Contact ids.ProcessID
+	// Style is the binding style.
+	Style Style
+	// Monitor marks a group-to-group client monitor group: replies go to
+	// every member, duplicates are filtered by call id.
+	Monitor bool
+	// AsyncFwd requests the asynchronous-forwarding optimisation.
+	AsyncFwd bool
+	// Config is the gcs configuration of the group to join (must match
+	// the client's; the invocation layer fills Leader with the request
+	// manager for open bindings).
+	Config gcs.GroupConfig
+}
+
+func encodeBindRequest(m *bindRequest) []byte {
+	w := wire.NewWriter()
+	w.String(string(m.Group))
+	w.String(string(m.ServerGroup))
+	w.String(string(m.Contact))
+	w.Uvarint(uint64(m.Style))
+	w.Bool(m.Monitor)
+	w.Bool(m.AsyncFwd)
+	w.Uvarint(uint64(m.Config.Order))
+	w.String(string(m.Config.Leader))
+	w.Uvarint(uint64(m.Config.Liveness))
+	w.Varint(int64(m.Config.TimeSilence))
+	w.Varint(int64(m.Config.SuspectTimeout))
+	w.Varint(int64(m.Config.Resend))
+	w.Varint(int64(m.Config.FlushTimeout))
+	w.Varint(int64(m.Config.Tick))
+	return w.Bytes()
+}
+
+func decodeBindRequest(b []byte) (*bindRequest, error) {
+	r := wire.NewReader(b)
+	m := &bindRequest{
+		Group:       ids.GroupID(r.String()),
+		ServerGroup: ids.GroupID(r.String()),
+		Contact:     ids.ProcessID(r.String()),
+		Style:       Style(r.Uvarint()),
+		Monitor:     r.Bool(),
+		AsyncFwd:    r.Bool(),
+	}
+	m.Config.Order = gcs.OrderMode(r.Uvarint())
+	m.Config.Leader = ids.ProcessID(r.String())
+	m.Config.Liveness = gcs.Liveness(r.Uvarint())
+	m.Config.TimeSilence = durationFromVarint(r)
+	m.Config.SuspectTimeout = durationFromVarint(r)
+	m.Config.Resend = durationFromVarint(r)
+	m.Config.FlushTimeout = durationFromVarint(r)
+	m.Config.Tick = durationFromVarint(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func durationFromVarint(r *wire.Reader) time.Duration { return time.Duration(r.Varint()) }
+
+// encodeProcs/decodeProcs carry member lists in ORB control replies.
+func encodeProcs(ps []ids.ProcessID) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		w.String(string(p))
+	}
+	return w.Bytes()
+}
+
+func decodeProcs(b []byte) ([]ids.ProcessID, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil, wire.ErrTooLarge
+	}
+	out := make([]ids.ProcessID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, ids.ProcessID(r.String()))
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

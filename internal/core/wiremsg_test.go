@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &invRequest{
+		Call:      ids.CallID{Client: "c1", Number: 42},
+		Mode:      Majority,
+		Method:    "transfer",
+		Args:      []byte{1, 2, 3},
+		Client:    "c1",
+		Style:     Open,
+		Forwarded: true,
+		AsyncFwd:  true,
+	}
+	msg, err := decodePayload(encodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*invRequest)
+	if got.Call != req.Call || got.Mode != req.Mode || got.Method != req.Method ||
+		string(got.Args) != string(req.Args) || got.Client != req.Client ||
+		got.Style != req.Style || got.Forwarded != req.Forwarded || got.AsyncFwd != req.AsyncFwd {
+		t.Fatalf("mismatch:\n%+v\n%+v", got, req)
+	}
+}
+
+func TestReplyAndSetRoundTrip(t *testing.T) {
+	rep := invReply{
+		Call:    ids.CallID{Client: "c", Number: 7},
+		Server:  "s1",
+		Payload: []byte("result"),
+		Err:     "partial failure",
+	}
+	msg, err := decodePayload(encodeReply(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := msg.(*invReply); got.Call != rep.Call || got.Server != rep.Server ||
+		string(got.Payload) != "result" || got.Err != rep.Err {
+		t.Fatalf("reply mismatch: %+v", got)
+	}
+
+	set := &invReplySet{
+		Call:    rep.Call,
+		Replies: []invReply{rep, {Call: rep.Call, Server: "s2", Payload: []byte("x")}},
+		Err:     "",
+	}
+	msg, err = decodePayload(encodeReplySet(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*invReplySet)
+	if got.Call != set.Call || len(got.Replies) != 2 || got.Replies[1].Server != "s2" {
+		t.Fatalf("set mismatch: %+v", got)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	msg, err := decodePayload(encodeHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(helloMsg); !ok {
+		t.Fatalf("hello decoded as %T", msg)
+	}
+}
+
+func TestBindRequestRoundTrip(t *testing.T) {
+	req := &bindRequest{
+		Group:       "cs/sg/c/1",
+		ServerGroup: "sg",
+		Contact:     "c",
+		Style:       Open,
+		Monitor:     true,
+		AsyncFwd:    true,
+		Config: gcs.GroupConfig{
+			Order:          gcs.OrderSequencer,
+			Leader:         "s0",
+			Liveness:       gcs.EventDriven,
+			TimeSilence:    time.Millisecond,
+			SuspectTimeout: time.Second,
+			Resend:         3 * time.Millisecond,
+			FlushTimeout:   4 * time.Second,
+			Tick:           5 * time.Millisecond,
+		},
+	}
+	got, err := decodeBindRequest(encodeBindRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *req {
+		t.Fatalf("mismatch:\n%+v\n%+v", got, req)
+	}
+}
+
+func TestPayloadDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = decodePayload(b)
+		_, _ = decodeBindRequest(b)
+		_, _ = decodeProcs(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyModeNeed(t *testing.T) {
+	cases := []struct {
+		mode ReplyMode
+		n    int
+		want int
+	}{
+		{OneWay, 5, 0},
+		{First, 5, 1},
+		{Majority, 5, 3},
+		{Majority, 4, 3},
+		{All, 5, 5},
+		{All, 0, 1},
+		{Majority, 0, 1},
+	}
+	for _, c := range cases {
+		if got := c.mode.need(c.n); got != c.want {
+			t.Errorf("%v.need(%d) = %d, want %d", c.mode, c.n, got, c.want)
+		}
+	}
+}
+
+func TestModeAndStyleStrings(t *testing.T) {
+	for _, m := range []ReplyMode{OneWay, First, Majority, All, ReplyMode(42)} {
+		if m.String() == "" {
+			t.Errorf("mode %d renders empty", int(m))
+		}
+	}
+	for _, s := range []Style{Closed, Open, Style(42)} {
+		if s.String() == "" {
+			t.Errorf("style %d renders empty", int(s))
+		}
+	}
+}
+
+func TestReplyCacheEviction(t *testing.T) {
+	rc := newReplyCache(3)
+	for i := uint64(1); i <= 5; i++ {
+		rc.put(ids.CallID{Client: "c", Number: i}, invReply{Server: "s"})
+	}
+	if _, ok := rc.get(ids.CallID{Client: "c", Number: 1}); ok {
+		t.Fatal("oldest entry should be evicted")
+	}
+	if _, ok := rc.get(ids.CallID{Client: "c", Number: 5}); !ok {
+		t.Fatal("newest entry should be present")
+	}
+	// Re-putting an existing call must not duplicate.
+	rc.put(ids.CallID{Client: "c", Number: 5}, invReply{Server: "other"})
+	if rep, _ := rc.get(ids.CallID{Client: "c", Number: 5}); rep.Server != "s" {
+		t.Fatal("put must not overwrite the retained reply")
+	}
+}

@@ -1,0 +1,93 @@
+package gcs_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+// benchGroup spins a 3-member group on the zero-latency profile so the
+// benchmark measures protocol CPU, not simulated waiting.
+func benchGroup(b *testing.B, order gcs.OrderMode) ([]*gcs.Group, func()) {
+	b.Helper()
+	net := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	cfg := gcs.GroupConfig{
+		Order:          order,
+		TimeSilence:    5 * time.Millisecond,
+		SuspectTimeout: time.Minute,
+		Resend:         time.Second,
+		FlushTimeout:   time.Second,
+		Tick:           2 * time.Millisecond,
+	}
+	var nodes []*gcs.Node
+	var groups []*gcs.Group
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		ep, err := net.Endpoint(ids.ProcessID(fmt.Sprintf("b%d", i)), netsim.SiteLAN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := gcs.NewNode(ep)
+		nodes = append(nodes, n)
+		var g *gcs.Group
+		if i == 0 {
+			g, err = n.Create("bench", cfg)
+		} else {
+			g, err = n.Join(ctx, "bench", nodes[0].ID(), cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		for len(g.View().Members) != 3 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return groups, func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}
+}
+
+// benchMulticast measures end-to-end ordered delivery of one multicast to
+// all three members.
+func benchMulticast(b *testing.B, order gcs.OrderMode) {
+	groups, stop := benchGroup(b, order)
+	defer stop()
+	payload := make([]byte, 100)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seen := 0
+		for ev := range groups[2].Events() {
+			if ev.Type == gcs.EventDeliver {
+				seen++
+				if seen == b.N {
+					return
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := groups[0].Multicast(context.Background(), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func BenchmarkMulticastSymmetric(b *testing.B) { benchMulticast(b, gcs.OrderSymmetric) }
+func BenchmarkMulticastSequencer(b *testing.B) { benchMulticast(b, gcs.OrderSequencer) }
+func BenchmarkMulticastCausal(b *testing.B)    { benchMulticast(b, gcs.OrderCausal) }

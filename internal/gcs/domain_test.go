@@ -1,0 +1,316 @@
+package gcs_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+// domainWorld builds nodes that all belong to two overlapping groups "ga"
+// and "gb" placed in one total-order domain.
+func domainWorld(t *testing.T, members int) (groupsA, groupsB []*gcs.Group) {
+	t.Helper()
+	net := memnet.New(netsim.New(netsim.FastProfile(), 21))
+	cfg := testConfig(gcs.OrderSymmetric)
+	cfg.Domain = "dom"
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+
+	var nodes []*gcs.Node
+	for i := 0; i < members; i++ {
+		ep, err := net.Endpoint(ids.ProcessID(fmt.Sprintf("d%02d", i)), netsim.SiteLAN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := gcs.NewNode(ep)
+		t.Cleanup(func() { _ = n.Close() })
+		nodes = append(nodes, n)
+		for _, gid := range []ids.GroupID{"ga", "gb"} {
+			var g *gcs.Group
+			if i == 0 {
+				g, err = n.Create(gid, cfg)
+			} else {
+				g, err = n.Join(ctx, gid, nodes[0].ID(), cfg)
+			}
+			if err != nil {
+				t.Fatalf("group %s node %d: %v", gid, i, err)
+			}
+			if gid == "ga" {
+				groupsA = append(groupsA, g)
+			} else {
+				groupsB = append(groupsB, g)
+			}
+		}
+	}
+	for _, g := range append(append([]*gcs.Group{}, groupsA...), groupsB...) {
+		for len(g.View().Members) != members {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return groupsA, groupsB
+}
+
+func TestDomainRequiresSymmetric(t *testing.T) {
+	h := newHarness(t, 1)
+	cfg := testConfig(gcs.OrderSequencer)
+	cfg.Domain = "d"
+	if _, err := h.nodes[0].Create("g", cfg); err == nil {
+		t.Fatal("sequencer + domain must be rejected")
+	}
+}
+
+// TestDomainCrossGroupAgreement has every member multicast into both
+// groups concurrently; each node's merged (DomainSeq-ordered) stream must
+// present the identical global sequence of the union.
+func TestDomainCrossGroupAgreement(t *testing.T) {
+	const members, perGroup = 3, 12
+	groupsA, groupsB := domainWorld(t, members)
+
+	// Merge each node's two streams.
+	merged := make([]<-chan gcs.Event, members)
+	for i := 0; i < members; i++ {
+		merged[i] = gcs.MergeDomain(groupsA[i], groupsB[i])
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < members; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perGroup; k++ {
+				if err := groupsA[i].Multicast(context.Background(), []byte(fmt.Sprintf("A:%d/%d", i, k))); err != nil {
+					t.Errorf("A multicast: %v", err)
+					return
+				}
+				if err := groupsB[i].Multicast(context.Background(), []byte(fmt.Sprintf("B:%d/%d", i, k))); err != nil {
+					t.Errorf("B multicast: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	total := members * perGroup * 2
+	sequences := make([][]string, members)
+	for i := 0; i < members; i++ {
+		deadline := time.After(30 * time.Second)
+		for len(sequences[i]) < total {
+			select {
+			case ev, ok := <-merged[i]:
+				if !ok {
+					t.Fatalf("node %d merged stream closed early (%d/%d)", i, len(sequences[i]), total)
+				}
+				if ev.Type == gcs.EventDeliver {
+					sequences[i] = append(sequences[i], string(ev.Deliver.Payload))
+				}
+			case <-deadline:
+				t.Fatalf("node %d stuck at %d/%d deliveries", i, len(sequences[i]), total)
+			}
+		}
+	}
+	for i := 1; i < members; i++ {
+		for k := range sequences[0] {
+			if sequences[i][k] != sequences[0][k] {
+				t.Fatalf("cross-group order disagreement at %d: node0=%q node%d=%q",
+					k, sequences[0][k], i, sequences[i][k])
+			}
+		}
+	}
+	// And the union really interleaves both groups (sanity).
+	sawA, sawB := false, false
+	for _, p := range sequences[0] {
+		if p[0] == 'A' {
+			sawA = true
+		} else {
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatal("merged stream missing one group's traffic")
+	}
+}
+
+// TestDomainSeqContiguous verifies the per-node domain sequence numbers
+// are gapless from 1.
+func TestDomainSeqContiguous(t *testing.T) {
+	groupsA, groupsB := domainWorld(t, 2)
+	for k := 0; k < 5; k++ {
+		if err := groupsA[0].Multicast(context.Background(), []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := groupsB[1].Multicast(context.Background(), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := gcs.MergeDomain(groupsA[0], groupsB[0])
+	want := uint64(1)
+	deadline := time.After(20 * time.Second)
+	for want <= 10 {
+		select {
+		case ev := <-merged:
+			if ev.Type != gcs.EventDeliver {
+				continue
+			}
+			if ev.Deliver.DomainSeq != want {
+				t.Fatalf("DomainSeq %d, want %d", ev.Deliver.DomainSeq, want)
+			}
+			want++
+		case <-deadline:
+			t.Fatalf("stuck waiting for DomainSeq %d", want)
+		}
+	}
+}
+
+// TestDomainSurvivesGroupDeparture checks that leaving one domain group
+// unblocks the siblings' gates.
+func TestDomainSurvivesGroupDeparture(t *testing.T) {
+	groupsA, groupsB := domainWorld(t, 2)
+
+	// Node 0 leaves gb; ga must keep delivering (the departed group no
+	// longer holds the domain gate).
+	if err := groupsB[0].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if err := groupsA[1].Multicast(context.Background(), []byte("after-departure")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(20 * time.Second)
+	for {
+		select {
+		case ev, ok := <-groupsA[0].Events():
+			if !ok {
+				t.Fatal("ga events closed")
+			}
+			if ev.Type == gcs.EventDeliver && string(ev.Deliver.Payload) == "after-departure" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("ga blocked after sibling departure")
+		}
+	}
+}
+
+// TestDomainThreeGroups runs three overlapping groups in one domain and
+// checks the merged order is identical at both nodes.
+func TestDomainThreeGroups(t *testing.T) {
+	net := memnet.New(netsim.New(netsim.FastProfile(), 23))
+	cfg := testConfig(gcs.OrderSymmetric)
+	cfg.Domain = "tri"
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	const members = 2
+	var nodes []*gcs.Node
+	groups := make(map[ids.GroupID][]*gcs.Group)
+	gids := []ids.GroupID{"t1", "t2", "t3"}
+	for i := 0; i < members; i++ {
+		ep, err := net.Endpoint(ids.ProcessID(fmt.Sprintf("m%d", i)), netsim.SiteLAN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := gcs.NewNode(ep)
+		t.Cleanup(func() { _ = n.Close() })
+		nodes = append(nodes, n)
+		for _, gid := range gids {
+			var g *gcs.Group
+			if i == 0 {
+				g, err = n.Create(gid, cfg)
+			} else {
+				g, err = n.Join(ctx, gid, nodes[0].ID(), cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups[gid] = append(groups[gid], g)
+		}
+	}
+	for _, gid := range gids {
+		for _, g := range groups[gid] {
+			for len(g.View().Members) != members {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	merged := make([]<-chan gcs.Event, members)
+	for i := 0; i < members; i++ {
+		merged[i] = gcs.MergeDomain(groups["t1"][i], groups["t2"][i], groups["t3"][i])
+	}
+
+	const rounds = 6
+	for k := 0; k < rounds; k++ {
+		for gi, gid := range gids {
+			sender := groups[gid][k%members]
+			msg := fmt.Sprintf("%s:%d", gid, k)
+			if err := sender.Multicast(ctx, []byte(msg)); err != nil {
+				t.Fatal(err)
+			}
+			_ = gi
+		}
+	}
+
+	total := rounds * len(gids)
+	var first []string
+	for i := 0; i < members; i++ {
+		var seq []string
+		deadline := time.After(20 * time.Second)
+		for len(seq) < total {
+			select {
+			case ev, ok := <-merged[i]:
+				if !ok {
+					t.Fatalf("merged stream %d closed at %d/%d", i, len(seq), total)
+				}
+				if ev.Type == gcs.EventDeliver {
+					seq = append(seq, string(ev.Deliver.Payload))
+				}
+			case <-deadline:
+				t.Fatalf("node %d stuck at %d/%d", i, len(seq), total)
+			}
+		}
+		if i == 0 {
+			first = seq
+			continue
+		}
+		for k := range first {
+			if seq[k] != first[k] {
+				t.Fatalf("three-group domain disagreement at %d: %q vs %q", k, seq[k], first[k])
+			}
+		}
+	}
+}
+
+// TestMergeDomainClosesWithInputs verifies the merged stream terminates
+// once every input group leaves.
+func TestMergeDomainClosesWithInputs(t *testing.T) {
+	groupsA, groupsB := domainWorld(t, 2)
+	merged := gcs.MergeDomain(groupsA[0], groupsB[0])
+	if err := groupsA[0].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if err := groupsB[0].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-merged:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("merged stream never closed")
+		}
+	}
+}

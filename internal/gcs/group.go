@@ -1,0 +1,952 @@
+package gcs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtop/internal/ids"
+	"newtop/internal/queue"
+	"newtop/internal/vclock"
+)
+
+// Errors returned by group operations.
+var (
+	// ErrLeft is returned after the local member has left the group (or
+	// the node closed).
+	ErrLeft = errors.New("gcs: left group")
+	// ErrConfigMismatch is returned by Join when the group's installed
+	// configuration differs from the joiner's.
+	ErrConfigMismatch = errors.New("gcs: group configuration mismatch")
+)
+
+type groupState int
+
+const (
+	stateJoining groupState = iota + 1
+	stateNormal
+	stateFlushing
+	stateLeft
+)
+
+// Group is the local member's handle on one group. All methods are safe
+// for concurrent use.
+type Group struct {
+	node *Node
+	id   ids.GroupID
+	cfg  GroupConfig
+	me   ids.ProcessID
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state groupState
+	view  View
+
+	// Per-view messaging state (reset at every view installation).
+	sendSeq       uint64
+	delivered     map[ids.ProcessID]uint64              // contiguous delivered per sender
+	recvContig    map[ids.ProcessID]uint64              // contiguous ingested per sender
+	stash         map[ids.ProcessID]map[uint64]*dataMsg // out-of-order buffer
+	pending       map[ids.MsgID]*dataMsg                // ingested, not yet delivered
+	lastStamp     map[ids.ProcessID]vclock.Stamp        // greatest contiguously-ingested stamp
+	assigns       map[ids.MsgID]uint64                  // sequencer order: msg -> global seq
+	byGlobal      map[uint64]ids.MsgID                  // inverse of assigns
+	nextGlobal    uint64                                // sequencer only: next global to hand out
+	delGlobal     uint64                                // last delivered global seq
+	assignHigh    uint64                                // sequencer only: highest global assigned
+	announcedHigh uint64                                // sequencer only: highest global put on the wire
+	announceSeq   map[ids.MsgID]uint64                  // sequencer only: own seq that first carried each assign
+	ackMatrix     map[ids.ProcessID]map[ids.ProcessID]uint64
+	store         map[ids.MsgID]*dataMsg // unstable messages retained for flush/resend
+	stableSeq     map[ids.ProcessID]uint64
+	maxAppStamp   vclock.Stamp // greatest application stamp ingested from others
+
+	// Liveness machinery.
+	lastSentAt time.Time
+	lastHeard  map[ids.ProcessID]time.Time
+	ackMark    map[ids.ProcessID]ackProgress
+	wasActive  bool
+
+	// Membership machinery.
+	suspects      map[ids.ProcessID]bool
+	pendingJoins  map[ids.ProcessID]bool
+	pendingLeaves map[ids.ProcessID]bool
+	curProposal   *proposeMsg // proposal we last acked (participant side)
+	proposalAt    time.Time
+	fl            *flushCoord // coordinator side, nil unless proposing
+	maxViewSeq    ids.ViewSeq // highest view sequence ever seen/proposed
+
+	// attention counts outstanding application-level interests (e.g.
+	// invocations awaiting replies): while positive, an event-driven
+	// group keeps its time-silence and failure-suspicion machinery
+	// running even if all messages have stabilised — a request manager
+	// that dies after acknowledging a request but before answering it
+	// must still be detected.
+	attention int
+
+	joinErr error
+
+	events *queue.FIFO[Event]
+
+	stats Stats
+
+	// domain is the node-local total-order domain (nil when not in one);
+	// kickCh wakes the tick loop when a sibling's frontier advances.
+	domain *domainState
+	kickCh chan struct{}
+
+	stopTick chan struct{}
+	tickDone chan struct{}
+}
+
+// DebugCounters tallies protocol traffic for diagnostics (package-wide).
+var DebugCounters struct {
+	App, Null, OrderNull, AckNull, TimeSilenceNull, Resend atomic.Int64
+}
+
+// flushCoord is the coordinator-side state of one membership change round.
+type flushCoord struct {
+	seq       ids.ViewSeq
+	members   []ids.ProcessID
+	acks      map[ids.ProcessID]*flushAckMsg
+	startedAt time.Time
+}
+
+func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
+	g := &Group{
+		node:          n,
+		id:            id,
+		cfg:           cfg,
+		me:            n.ID(),
+		state:         st,
+		lastHeard:     make(map[ids.ProcessID]time.Time),
+		suspects:      make(map[ids.ProcessID]bool),
+		pendingJoins:  make(map[ids.ProcessID]bool),
+		pendingLeaves: make(map[ids.ProcessID]bool),
+		events:        queue.New[Event](),
+		stopTick:      make(chan struct{}),
+		tickDone:      make(chan struct{}),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	g.kickCh = make(chan struct{}, 1)
+	if cfg.Domain != "" {
+		g.domain = n.dom.state(cfg.Domain)
+		g.domain.register(id, g.kickCh)
+	}
+	go g.tickLoop()
+	return g
+}
+
+// ID returns the group identifier.
+func (g *Group) ID() ids.GroupID { return g.id }
+
+// Me returns the local member's process identifier.
+func (g *Group) Me() ids.ProcessID { return g.me }
+
+// Config returns the group configuration (with defaults applied).
+func (g *Group) Config() GroupConfig { return g.cfg }
+
+// Events returns the ordered stream of deliveries and view changes. The
+// channel closes after Leave (or node close).
+func (g *Group) Events() <-chan Event { return g.events.Out() }
+
+// View returns the currently installed view (zero View while joining).
+func (g *Group) View() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.view.Clone()
+}
+
+// leaderOf returns the deterministic leader (coordinator and sequencer) of
+// a membership: the configured preferred leader when present, otherwise
+// the lowest identifier.
+func (g *Group) leaderOf(members []ids.ProcessID) ids.ProcessID {
+	if !g.cfg.Leader.Nil() && ids.ContainsProcess(members, g.cfg.Leader) {
+		return g.cfg.Leader
+	}
+	return ids.MinProcess(members)
+}
+
+// Coordinator returns the current view's membership coordinator.
+func (g *Group) Coordinator() ids.ProcessID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leaderOf(g.view.Members)
+}
+
+// Sequencer returns the member ordering messages under OrderSequencer.
+func (g *Group) Sequencer() ids.ProcessID { return g.Coordinator() }
+
+// actingCoordinator is the leader among non-suspected members (mu held).
+func (g *Group) actingCoordinator() ids.ProcessID {
+	live := make([]ids.ProcessID, 0, len(g.view.Members))
+	for _, m := range g.view.Members {
+		if !g.suspects[m] {
+			live = append(live, m)
+		}
+	}
+	return g.leaderOf(live)
+}
+
+// Attend declares an outstanding application-level interest in the
+// group: the liveness machinery of an event-driven group stays active
+// until the matching Unattend, so failures are detected even while no
+// messages are in flight. Lively groups are unaffected.
+func (g *Group) Attend() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.attention++
+	g.updateActivityLocked()
+}
+
+// Unattend releases an Attend.
+func (g *Group) Unattend() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.attention > 0 {
+		g.attention--
+	}
+}
+
+// Suspect reports an application-level failure suspicion about a member
+// (e.g. from an external prober): the membership machinery treats it like
+// a time-silence suspicion — the acting coordinator excludes the member
+// in the next view. Suspicions about unknown members or ourselves are
+// ignored. The built-in suspector remains authoritative; this entry point
+// exists because the failure suspector is a modular, replaceable part of
+// the service.
+func (g *Group) Suspect(p ids.ProcessID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state != stateNormal && g.state != stateFlushing {
+		return
+	}
+	if p == g.me || !g.view.Contains(p) || g.suspects[p] {
+		return
+	}
+	g.suspects[p] = true
+	if coord := g.actingCoordinator(); coord != g.me {
+		_ = g.node.ep.Send(coord, encodeMessage(&suspectMsg{Group: g.id, Accused: p}))
+		return
+	}
+	g.maybeStartFlushLocked()
+}
+
+// Multicast sends an application message to the full membership with the
+// group's configured ordering guarantee. It blocks while a view change is
+// in progress (sends are forbidden between flush-ack and view
+// installation).
+func (g *Group) Multicast(ctx context.Context, payload []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.waitNormalLocked(ctx); err != nil {
+		return err
+	}
+	g.sendDataLocked(false, payload)
+	return nil
+}
+
+// waitNormalLocked blocks until the group is in the normal state, the
+// member has left, or ctx is done.
+func (g *Group) waitNormalLocked(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var watch chan struct{}
+	for {
+		switch g.state {
+		case stateNormal:
+			return nil
+		case stateLeft:
+			return ErrLeft
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if watch == nil && ctx.Done() != nil {
+			watch = make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					g.cond.Broadcast()
+				case <-watch:
+				}
+			}()
+			defer close(watch)
+		}
+		g.cond.Wait()
+	}
+}
+
+// sendDataLocked builds, self-ingests and transmits one data message,
+// then runs the delivery loop.
+func (g *Group) sendDataLocked(null bool, payload []byte) {
+	g.emitDataLocked(null, payload)
+	g.tryDeliverLocked()
+}
+
+// emitDataLocked builds, self-ingests and transmits one data message
+// without entering the delivery loop (so the loop itself can announce
+// sequencer decisions without recursing).
+func (g *Group) emitDataLocked(null bool, payload []byte) {
+	if null {
+		DebugCounters.Null.Add(1)
+		g.stats.NullSent++
+	} else {
+		DebugCounters.App.Add(1)
+		g.stats.AppSent++
+	}
+	g.sendSeq++
+	m := &dataMsg{
+		Group:         g.id,
+		ViewSeq:       g.view.Seq,
+		ViewInstaller: g.view.Installer,
+		Sender:        g.me,
+		Seq:           g.sendSeq,
+		Lamport:       g.node.clock.Next(),
+		VC:            g.sendVCLocked(g.sendSeq),
+		Null:          null,
+		Payload:       payload,
+	}
+	if g.cfg.Order == OrderSequencer && g.leaderOf(g.view.Members) == g.me {
+		if !null {
+			g.assignLocked(m.msgID())
+		}
+		m.Assigns = g.assignSnapshotLocked()
+		g.announcedHigh = g.assignHigh
+		for _, a := range m.Assigns {
+			if _, ok := g.announceSeq[a.msgID()]; !ok {
+				g.announceSeq[a.msgID()] = m.Seq
+			}
+		}
+	}
+	if g.cfg.ProcessingCost > 0 {
+		time.Sleep(g.cfg.ProcessingCost)
+	}
+	g.lastSentAt = time.Now()
+	g.ingestContiguousLocked(m)
+	// Snapshot the acknowledgement vector after self-ingestion so the
+	// message advertises its own receipt; without that, a sender's first
+	// and only message can never stabilise at the other members.
+	m.Acks = g.ackSnapshotLocked()
+	g.store[m.msgID()] = m
+	g.broadcastLocked(m)
+}
+
+// broadcastLocked transmits an encoded message to every other view member.
+func (g *Group) broadcastLocked(m *dataMsg) {
+	enc := encodeMessage(m)
+	for _, p := range g.view.Members {
+		if p != g.me {
+			_ = g.node.ep.Send(p, enc) // best-effort; resend machinery recovers
+		}
+	}
+}
+
+// sendVCLocked snapshots the causal context of a new send.
+func (g *Group) sendVCLocked(seq uint64) map[ids.ProcessID]uint64 {
+	vc := make(map[ids.ProcessID]uint64, len(g.delivered)+1)
+	for p, n := range g.delivered {
+		if n > 0 {
+			vc[p] = n
+		}
+	}
+	vc[g.me] = seq
+	return vc
+}
+
+// ackSnapshotLocked snapshots the contiguous-received counters (the
+// stability acknowledgement vector piggybacked on every message).
+func (g *Group) ackSnapshotLocked() map[ids.ProcessID]uint64 {
+	acks := make(map[ids.ProcessID]uint64, len(g.recvContig))
+	for p, n := range g.recvContig {
+		if n > 0 {
+			acks[p] = n
+		}
+	}
+	return acks
+}
+
+// assignLocked hands the next global sequence number to a message
+// (sequencer only).
+func (g *Group) assignLocked(id ids.MsgID) {
+	if _, ok := g.assigns[id]; ok {
+		return
+	}
+	g.assigns[id] = g.nextGlobal
+	g.byGlobal[g.nextGlobal] = id
+	if g.nextGlobal > g.assignHigh {
+		g.assignHigh = g.nextGlobal
+	}
+	g.nextGlobal++
+}
+
+// assignSnapshotLocked lists the live (un-GCed) ordering decisions.
+func (g *Group) assignSnapshotLocked() []assign {
+	out := make([]assign, 0, len(g.assigns))
+	for id, global := range g.assigns {
+		out = append(out, assign{Sender: id.Sender, Seq: id.Seq, Global: global})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Global < out[j].Global })
+	return out
+}
+
+// handleData ingests one inbound data message (mu held). Data is only
+// accepted in the normal state: after a member flush-acks, anything still
+// in flight from the old view is recovered through the commit's cut (or
+// counts as lost with its sender), never ingested directly — that is what
+// keeps the cut the authoritative "all or none" message set.
+func (g *Group) handleData(m *dataMsg) {
+	if g.state != stateNormal && g.state != stateFlushing {
+		return
+	}
+	if g.view.Contains(m.Sender) {
+		g.lastHeard[m.Sender] = time.Now()
+	}
+	if g.state != stateNormal {
+		return
+	}
+	if m.ViewSeq != g.view.Seq || m.ViewInstaller != g.view.Installer {
+		return // stale or foreign-view traffic
+	}
+	if !g.view.Contains(m.Sender) {
+		return
+	}
+	if g.cfg.ProcessingCost > 0 {
+		time.Sleep(g.cfg.ProcessingCost)
+	}
+	g.node.clock.Witness(m.Lamport)
+	g.mergeAcksLocked(m.Sender, m.Acks)
+	g.mergeAssignsLocked(m.Assigns)
+
+	switch {
+	case m.Seq <= g.recvContig[m.Sender]:
+		// Duplicate (resend); acks/assigns already merged above.
+	case m.Seq == g.recvContig[m.Sender]+1:
+		g.ingestContiguousLocked(m)
+		g.store[m.msgID()] = m
+		// Drain any stashed successors.
+		for {
+			next, ok := g.stash[m.Sender][g.recvContig[m.Sender]+1]
+			if !ok {
+				break
+			}
+			delete(g.stash[m.Sender], next.Seq)
+			g.ingestContiguousLocked(next)
+			g.store[next.msgID()] = next
+		}
+	default:
+		if g.stash[m.Sender] == nil {
+			g.stash[m.Sender] = make(map[uint64]*dataMsg)
+		}
+		g.stash[m.Sender][m.Seq] = m
+	}
+
+	g.compactStableLocked()
+	g.tryDeliverLocked()
+	g.publishFrontierLocked()
+	// Prompt acknowledgement: under the total-order protocols, messages
+	// still pending after the delivery pass need traffic from us before
+	// anyone can deliver them; if our latest send does not already cover
+	// them, speak up now (one null acknowledges everything pending).
+	// This is the paper's "protocol specific" message exchange.
+	if g.state == stateNormal && g.cfg.Order.Total() && g.needAckLocked() {
+		DebugCounters.AckNull.Add(1)
+		g.sendDataLocked(true, nil)
+	}
+	g.updateActivityLocked()
+}
+
+// needAckLocked reports whether any application message ingested from
+// another member is not yet covered by this member's latest send. The
+// check must cover delivered messages too: a member that delivered early
+// (the sequencer, say) and went quiet would otherwise stall everyone else
+// behind the heard-past condition until its next time-silence beat.
+func (g *Group) needAckLocked() bool {
+	return g.lastStamp[g.me].Less(g.maxAppStamp)
+}
+
+// ingestContiguousLocked accepts the next in-sequence message from a
+// sender into the pending set and advances the ordering bookkeeping.
+func (g *Group) ingestContiguousLocked(m *dataMsg) {
+	g.recvContig[m.Sender] = m.Seq
+	g.pending[m.msgID()] = m
+	if st := m.stamp(); g.lastStamp[m.Sender].Less(st) {
+		g.lastStamp[m.Sender] = st
+	}
+	if !m.Null && m.Sender != g.me && g.maxAppStamp.Less(m.stamp()) {
+		g.maxAppStamp = m.stamp()
+	}
+	if g.ackMatrix[g.me] == nil {
+		g.ackMatrix[g.me] = make(map[ids.ProcessID]uint64)
+	}
+	g.ackMatrix[g.me][m.Sender] = g.recvContig[m.Sender]
+}
+
+// mergeAcksLocked folds a member's received-counters into the matrix.
+func (g *Group) mergeAcksLocked(from ids.ProcessID, acks map[ids.ProcessID]uint64) {
+	if len(acks) == 0 {
+		return
+	}
+	row := g.ackMatrix[from]
+	if row == nil {
+		row = make(map[ids.ProcessID]uint64, len(acks))
+		g.ackMatrix[from] = row
+	}
+	for s, n := range acks {
+		if n > row[s] {
+			row[s] = n
+		}
+	}
+}
+
+// mergeAssignsLocked folds sequencer decisions into the local table.
+func (g *Group) mergeAssignsLocked(as []assign) {
+	for _, a := range as {
+		id := a.msgID()
+		if _, ok := g.assigns[id]; !ok {
+			g.assigns[id] = a.Global
+			g.byGlobal[a.Global] = id
+		}
+	}
+}
+
+// compactStableLocked recomputes per-sender stability and garbage-collects
+// the retained-message store and the ordering table.
+func (g *Group) compactStableLocked() {
+	for _, s := range g.view.Members {
+		min := uint64(0)
+		for i, m := range g.view.Members {
+			row := g.ackMatrix[m]
+			got := uint64(0)
+			if row != nil {
+				got = row[s]
+			}
+			if i == 0 || got < min {
+				min = got
+			}
+		}
+		g.stableSeq[s] = min
+	}
+	sequencer := g.cfg.Order == OrderSequencer && g.leaderOf(g.view.Members) == g.me
+	for id := range g.store {
+		if id.Seq <= g.stableSeq[id.Sender] && id.Seq <= g.delivered[id.Sender] {
+			delete(g.store, id)
+			global, ok := g.assigns[id]
+			if !ok {
+				continue
+			}
+			if sequencer {
+				// The ordering decision must outlive the message: drop it
+				// only once a message of ours that announced it has been
+				// received by everyone, or the other members would never
+				// learn the message's position in the total order.
+				aseq, announced := g.announceSeq[id]
+				if !announced || aseq > g.stableSeq[g.me] {
+					continue
+				}
+				delete(g.announceSeq, id)
+			}
+			delete(g.assigns, id)
+			delete(g.byGlobal, global)
+		}
+	}
+}
+
+// causalOKLocked reports whether m's causal context is satisfied.
+func (g *Group) causalOKLocked(m *dataMsg) bool {
+	if m.Seq != g.delivered[m.Sender]+1 {
+		return false
+	}
+	for q, n := range m.VC {
+		if q == m.Sender {
+			continue
+		}
+		if n > g.delivered[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryDeliverLocked delivers every message that has become deliverable
+// under the group's ordering mode, in a loop until quiescent. At the
+// sequencer it interleaves ordering decisions with deliveries (a remote
+// message must be delivered locally before its causal successors can be
+// assigned); any decision concerning messages this node did not send is
+// announced with an order-carrying null, the paper's explicit ORDER
+// multicast.
+func (g *Group) tryDeliverLocked() {
+	if g.state != stateNormal {
+		return
+	}
+	for {
+		g.sequenceLocked()
+		m := g.nextDeliverableLocked()
+		if m == nil {
+			if g.unannouncedAssignsLocked() {
+				// emitDataLocked advances announcedHigh, so this branch
+				// runs at most once per batch of new decisions.
+				DebugCounters.OrderNull.Add(1)
+				g.emitDataLocked(true, nil)
+				continue // the null itself may now be deliverable
+			}
+			return
+		}
+		g.deliverLocked(m)
+	}
+}
+
+// unannouncedAssignsLocked reports whether the sequencer holds ordering
+// decisions for messages sent by other members that it has not yet put on
+// the wire (its own messages carry their assignment at send time).
+func (g *Group) unannouncedAssignsLocked() bool {
+	if g.cfg.Order != OrderSequencer || g.leaderOf(g.view.Members) != g.me {
+		return false
+	}
+	return g.assignHigh > g.announcedHigh
+}
+
+// sequenceLocked is the sequencer's ordering step: assign global sequence
+// numbers, in stamp order, to causally-deliverable unassigned application
+// messages. Returns whether any new assignment was made.
+func (g *Group) sequenceLocked() bool {
+	if g.cfg.Order != OrderSequencer || g.leaderOf(g.view.Members) != g.me {
+		return false
+	}
+	var candidates []*dataMsg
+	for _, m := range g.pending {
+		if m.Null {
+			continue
+		}
+		if _, ok := g.assigns[m.msgID()]; ok {
+			continue
+		}
+		candidates = append(candidates, m)
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].stamp().Less(candidates[j].stamp()) })
+	made := false
+	for _, m := range candidates {
+		if g.causalOKLocked(m) {
+			g.assignLocked(m.msgID())
+			made = true
+		}
+	}
+	return made
+}
+
+// nextDeliverableLocked picks the unique next message to deliver, or nil.
+func (g *Group) nextDeliverableLocked() *dataMsg {
+	var candidates []*dataMsg
+	for _, m := range g.pending {
+		candidates = append(candidates, m)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].stamp().Less(candidates[j].stamp()) })
+
+	switch g.cfg.Order {
+	case OrderCausal:
+		for _, m := range candidates {
+			if g.causalOKLocked(m) {
+				return m
+			}
+		}
+	case OrderSymmetric:
+		for _, m := range candidates {
+			if !g.causalOKLocked(m) {
+				if m.Null {
+					continue
+				}
+				// The stamp-minimal application message is blocked on a
+				// causal predecessor that must arrive first.
+				return nil
+			}
+			if m.Null {
+				return m // nulls bypass the total order
+			}
+			if !g.allHeardPastLocked(m) {
+				return nil // total order blocked until everyone spoke
+			}
+			if g.domain != nil && !g.domain.clear(g.id, m.stamp()) {
+				return nil // a sibling group may still deliver earlier
+			}
+			return m
+		}
+	case OrderSequencer:
+		for _, m := range candidates {
+			if !g.causalOKLocked(m) {
+				continue
+			}
+			if m.Null {
+				return m
+			}
+			// NewTop is block-based: besides the sequencer's ordering
+			// decision, delivery requires traffic from every member past
+			// the message, which is what keeps all functioning members
+			// atomically in step (and what makes group membership costly
+			// for far-away members).
+			if global, ok := g.assigns[m.msgID()]; ok && global == g.delGlobal+1 &&
+				g.allHeardPastLocked(m) {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// allHeardPastLocked reports whether every other member has been heard
+// from (contiguously) with a stamp greater than m's, so no earlier-stamped
+// message can still arrive.
+func (g *Group) allHeardPastLocked(m *dataMsg) bool {
+	st := m.stamp()
+	for _, q := range g.view.Members {
+		if q == g.me || q == m.Sender {
+			continue
+		}
+		if !st.Less(g.lastStamp[q]) {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverLocked finalises delivery of one message.
+func (g *Group) deliverLocked(m *dataMsg) {
+	id := m.msgID()
+	delete(g.pending, id)
+	g.delivered[m.Sender] = m.Seq
+	if global, ok := g.assigns[id]; ok && !m.Null {
+		if global == g.delGlobal+1 {
+			g.delGlobal = global
+		} else if global > g.delGlobal {
+			g.delGlobal = global // cut delivery can skip ahead deterministically
+		}
+	}
+	if !m.Null {
+		d := &Delivery{
+			Sender:  m.Sender,
+			Payload: m.Payload,
+			Stamp:   m.stamp(),
+			ViewSeq: m.ViewSeq,
+		}
+		if g.domain != nil {
+			d.DomainSeq = g.domain.nextSeq()
+		}
+		g.stats.AppDelivered++
+		g.events.Push(Event{Type: EventDeliver, Deliver: d})
+	}
+	g.compactStableLocked()
+}
+
+// updateActivityLocked recomputes the event-driven activity flag and
+// resets suspicion clocks on an idle-to-active transition.
+func (g *Group) updateActivityLocked() {
+	active := g.activeLocked()
+	if active && !g.wasActive {
+		now := time.Now()
+		for _, p := range g.view.Members {
+			g.lastHeard[p] = now
+		}
+	}
+	g.wasActive = active
+}
+
+// activeLocked reports whether the liveness machinery should be running.
+// Unstable nulls do not count: acknowledging an acknowledgement would keep
+// an event-driven group heartbeating forever, so quiescence is defined
+// over application traffic only (trailing nulls are collected the next
+// time the group wakes).
+func (g *Group) activeLocked() bool {
+	if g.state == stateLeft || g.state == stateJoining {
+		return false
+	}
+	if g.cfg.Liveness == Lively {
+		return true
+	}
+	if len(g.pending) > 0 || g.state == stateFlushing || g.fl != nil || g.attention > 0 {
+		return true
+	}
+	for _, m := range g.store {
+		if !m.Null {
+			return true
+		}
+	}
+	return false
+}
+
+// installViewLocked resets all per-view state and emits the view event.
+func (g *Group) installViewLocked(v View) {
+	g.view = v.Clone()
+	if v.Seq > g.maxViewSeq {
+		g.maxViewSeq = v.Seq
+	}
+	g.sendSeq = 0
+	g.delivered = make(map[ids.ProcessID]uint64, len(v.Members))
+	g.recvContig = make(map[ids.ProcessID]uint64, len(v.Members))
+	g.stash = make(map[ids.ProcessID]map[uint64]*dataMsg)
+	g.pending = make(map[ids.MsgID]*dataMsg)
+	g.lastStamp = make(map[ids.ProcessID]vclock.Stamp, len(v.Members))
+	g.assigns = make(map[ids.MsgID]uint64)
+	g.byGlobal = make(map[uint64]ids.MsgID)
+	g.nextGlobal = 1
+	g.delGlobal = 0
+	g.assignHigh = 0
+	g.announcedHigh = 0
+	g.announceSeq = make(map[ids.MsgID]uint64)
+	g.ackMatrix = make(map[ids.ProcessID]map[ids.ProcessID]uint64, len(v.Members))
+	g.store = make(map[ids.MsgID]*dataMsg)
+	g.stableSeq = make(map[ids.ProcessID]uint64, len(v.Members))
+	g.maxAppStamp = vclock.Stamp{}
+	now := time.Now()
+	g.lastSentAt = now
+	g.lastHeard = make(map[ids.ProcessID]time.Time, len(v.Members))
+	g.ackMark = make(map[ids.ProcessID]ackProgress, len(v.Members))
+	for _, p := range v.Members {
+		g.lastHeard[p] = now
+	}
+	g.suspects = make(map[ids.ProcessID]bool)
+	for p := range g.pendingJoins {
+		if v.Contains(p) {
+			delete(g.pendingJoins, p)
+		}
+	}
+	for p := range g.pendingLeaves {
+		if !v.Contains(p) {
+			delete(g.pendingLeaves, p)
+		}
+	}
+	g.stats.ViewsInstalled++
+	g.curProposal = nil
+	g.fl = nil
+	g.state = stateNormal
+	// The per-view ordering state just reset: the domain frontier
+	// regresses until the new view's members have spoken.
+	g.publishFrontierLocked()
+	view := v.Clone()
+	g.events.Push(Event{Type: EventView, View: &view})
+	g.updateActivityLocked()
+	g.cond.Broadcast()
+
+	// Coordinatorship may have moved with this view (e.g. the configured
+	// leader just joined): hand any still-pending membership requests to
+	// the new coordinator instead of stranding them here until the
+	// requesters retry.
+	if coord := g.actingCoordinator(); coord != g.me {
+		for p := range g.pendingJoins {
+			_ = g.node.ep.Send(coord, encodeMessage(&joinMsg{Group: g.id, Joiner: p}))
+		}
+		g.pendingJoins = make(map[ids.ProcessID]bool)
+		for p := range g.pendingLeaves {
+			_ = g.node.ep.Send(coord, encodeMessage(&leaveMsg{Group: g.id, Leaver: p}))
+		}
+		g.pendingLeaves = make(map[ids.ProcessID]bool)
+	} else if len(g.pendingJoins)+len(g.pendingLeaves) > 0 {
+		g.maybeStartFlushLocked()
+	}
+}
+
+// Leave departs the group: the coordinator is informed so the remaining
+// members install a view without us, and the local handle shuts down (the
+// events channel closes).
+func (g *Group) Leave() error {
+	g.mu.Lock()
+	if g.state == stateLeft {
+		g.mu.Unlock()
+		return nil
+	}
+	coord := g.actingCoordinator()
+	me := g.me
+	enc := encodeMessage(&leaveMsg{Group: g.id, Leaver: me})
+	g.closeLocked(nil)
+	g.mu.Unlock()
+
+	if coord != "" && coord != me {
+		_ = g.node.ep.Send(coord, enc)
+	}
+	g.node.dropGroup(g.id)
+	<-g.tickDone
+	g.events.Close()
+	return nil
+}
+
+// closeLocked transitions to the terminal state and stops the ticker.
+func (g *Group) closeLocked(err error) {
+	if g.state == stateLeft {
+		return
+	}
+	g.state = stateLeft
+	if g.domain != nil {
+		g.domain.unregister(g.id)
+	}
+	g.joinErr = err
+	select {
+	case <-g.stopTick:
+	default:
+		close(g.stopTick)
+	}
+	g.cond.Broadcast()
+}
+
+// handle dispatches one decoded inbound message.
+func (g *Group) handle(from ids.ProcessID, msg any) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch m := msg.(type) {
+	case *dataMsg:
+		g.handleData(m)
+	case *joinMsg:
+		g.handleJoin(m)
+	case *leaveMsg:
+		g.handleLeave(m)
+	case *suspectMsg:
+		g.handleSuspect(m)
+	case *proposeMsg:
+		g.handlePropose(m)
+	case *flushAckMsg:
+		g.handleFlushAck(m)
+	case *commitMsg:
+		g.handleCommit(m)
+	default:
+		_ = fmt.Sprintf("gcs: unhandled message %T from %s", m, from)
+	}
+}
+
+// DebugDump renders the group's internal delivery state for diagnostics.
+func (g *Group) DebugDump() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := fmt.Sprintf("%s@%s state=%d view=%v delGlobal=%d nextGlobal=%d pending=%d store=%d\n",
+		g.id, g.me, g.state, g.view.Members, g.delGlobal, g.nextGlobal, len(g.pending), len(g.store))
+	s += fmt.Sprintf("  delivered=%v\n  recvContig=%v\n", g.delivered, g.recvContig)
+	for q, st := range g.stash {
+		if len(st) > 0 {
+			s += fmt.Sprintf("  stash[%s]=%d\n", q, len(st))
+		}
+	}
+	byG := make([]string, 0, 8)
+	for global := g.delGlobal + 1; global <= g.delGlobal+4; global++ {
+		id, ok := g.byGlobal[global]
+		if !ok {
+			byG = append(byG, fmt.Sprintf("g%d=?", global))
+			continue
+		}
+		m := g.pending[id]
+		if m == nil {
+			byG = append(byG, fmt.Sprintf("g%d=%v(not-pending,del=%d)", global, id, g.delivered[id.Sender]))
+			continue
+		}
+		byG = append(byG, fmt.Sprintf("g%d=%v causal=%v heard=%v vc=%v", global, id, g.causalOKLocked(m), g.allHeardPastLocked(m), m.VC))
+	}
+	s += "  next globals: " + fmt.Sprint(byG) + "\n"
+	for q, st := range g.lastStamp {
+		s += fmt.Sprintf("  lastStamp[%s]=%v\n", q, st)
+	}
+	return s
+}

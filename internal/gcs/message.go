@@ -1,0 +1,351 @@
+package gcs
+
+import (
+	"fmt"
+	"sort"
+
+	"newtop/internal/ids"
+	"newtop/internal/vclock"
+	"newtop/internal/wire"
+)
+
+// Wire message kinds (first byte of every GCS payload).
+const (
+	kindData byte = iota + 1
+	kindJoin
+	kindLeave
+	kindSuspect
+	kindPropose
+	kindFlushAck
+	kindCommit
+)
+
+// assign is one sequencer ordering decision: the message identified by
+// (Sender, Seq) occupies total-order position Global in its view.
+type assign struct {
+	Sender ids.ProcessID
+	Seq    uint64
+	Global uint64
+}
+
+func (a assign) msgID() ids.MsgID { return ids.MsgID{Sender: a.Sender, Seq: a.Seq} }
+
+// dataMsg is an application or null (time-silence / order-carrier)
+// multicast. Null messages run through the full reliability and ordering
+// machinery but are not surfaced to the application.
+type dataMsg struct {
+	Group         ids.GroupID
+	ViewSeq       ids.ViewSeq
+	ViewInstaller ids.ProcessID
+	Sender        ids.ProcessID
+	Seq           uint64 // per-sender, per-view, starting at 1
+	Lamport       uint64
+	VC            map[ids.ProcessID]uint64 // delivered counts at send time, plus own Seq
+	Null          bool
+	Payload       []byte
+	// Acks carries the sender's contiguous-received counters for
+	// stability tracking; processed at ingestion.
+	Acks map[ids.ProcessID]uint64
+	// Assigns carries the sequencer's (current unstable) ordering table;
+	// only the sequencer populates it. Processed at ingestion, which is
+	// what prevents order/data delivery deadlocks.
+	Assigns []assign
+}
+
+func (m *dataMsg) msgID() ids.MsgID { return ids.MsgID{Sender: m.Sender, Seq: m.Seq} }
+
+func (m *dataMsg) stamp() vclock.Stamp { return vclock.Stamp{Time: m.Lamport, Sender: m.Sender} }
+
+type joinMsg struct {
+	Group  ids.GroupID
+	Joiner ids.ProcessID
+}
+
+type leaveMsg struct {
+	Group  ids.GroupID
+	Leaver ids.ProcessID
+}
+
+type suspectMsg struct {
+	Group   ids.GroupID
+	Accused ids.ProcessID
+}
+
+type proposeMsg struct {
+	Group    ids.GroupID
+	NewSeq   ids.ViewSeq
+	Proposer ids.ProcessID
+	Members  []ids.ProcessID
+}
+
+type flushAckMsg struct {
+	Group    ids.GroupID
+	NewSeq   ids.ViewSeq
+	Proposer ids.ProcessID
+	From     ids.ProcessID
+	Joining  bool
+	Unstable []*dataMsg
+	Assigns  []assign
+}
+
+type commitMsg struct {
+	Group    ids.GroupID
+	NewSeq   ids.ViewSeq
+	Proposer ids.ProcessID
+	Members  []ids.ProcessID
+	Order    OrderMode
+	Liveness Liveness
+	Leader   ids.ProcessID
+	Cut      []*dataMsg
+	Assigns  []assign
+}
+
+// --- encoding helpers ---
+
+func putProcs(w *wire.Writer, ps []ids.ProcessID) {
+	w.Uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		w.String(string(p))
+	}
+}
+
+func getProcs(r *wire.Reader) []ids.ProcessID {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	out := make([]ids.ProcessID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, ids.ProcessID(r.String()))
+	}
+	return out
+}
+
+// putCounts encodes a process→counter map in sorted key order so encoding
+// is deterministic.
+func putCounts(w *wire.Writer, m map[ids.ProcessID]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Uvarint(m[ids.ProcessID(k)])
+	}
+}
+
+func getCounts(r *wire.Reader) map[ids.ProcessID]uint64 {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	m := make(map[ids.ProcessID]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		k := ids.ProcessID(r.String())
+		m[k] = r.Uvarint()
+	}
+	return m
+}
+
+func putAssigns(w *wire.Writer, as []assign) {
+	w.Uvarint(uint64(len(as)))
+	for _, a := range as {
+		w.String(string(a.Sender))
+		w.Uvarint(a.Seq)
+		w.Uvarint(a.Global)
+	}
+}
+
+func getAssigns(r *wire.Reader) []assign {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	out := make([]assign, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, assign{
+			Sender: ids.ProcessID(r.String()),
+			Seq:    r.Uvarint(),
+			Global: r.Uvarint(),
+		})
+	}
+	return out
+}
+
+func putData(w *wire.Writer, m *dataMsg) {
+	w.String(string(m.Group))
+	w.Uvarint(uint64(m.ViewSeq))
+	w.String(string(m.ViewInstaller))
+	w.String(string(m.Sender))
+	w.Uvarint(m.Seq)
+	w.Uvarint(m.Lamport)
+	putCounts(w, m.VC)
+	w.Bool(m.Null)
+	w.Blob(m.Payload)
+	putCounts(w, m.Acks)
+	putAssigns(w, m.Assigns)
+}
+
+func getData(r *wire.Reader) *dataMsg {
+	return &dataMsg{
+		Group:         ids.GroupID(r.String()),
+		ViewSeq:       ids.ViewSeq(r.Uvarint()),
+		ViewInstaller: ids.ProcessID(r.String()),
+		Sender:        ids.ProcessID(r.String()),
+		Seq:           r.Uvarint(),
+		Lamport:       r.Uvarint(),
+		VC:            getCounts(r),
+		Null:          r.Bool(),
+		Payload:       r.Blob(),
+		Acks:          getCounts(r),
+		Assigns:       getAssigns(r),
+	}
+}
+
+func putDataList(w *wire.Writer, msgs []*dataMsg) {
+	w.Uvarint(uint64(len(msgs)))
+	for _, m := range msgs {
+		putData(w, m)
+	}
+}
+
+func getDataList(r *wire.Reader) []*dataMsg {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	out := make([]*dataMsg, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, getData(r))
+	}
+	return out
+}
+
+// encodeMessage serialises any of the GCS message structs.
+func encodeMessage(msg any) []byte {
+	w := wire.NewWriter()
+	switch m := msg.(type) {
+	case *dataMsg:
+		w.Byte(kindData)
+		putData(w, m)
+	case *joinMsg:
+		w.Byte(kindJoin)
+		w.String(string(m.Group))
+		w.String(string(m.Joiner))
+	case *leaveMsg:
+		w.Byte(kindLeave)
+		w.String(string(m.Group))
+		w.String(string(m.Leaver))
+	case *suspectMsg:
+		w.Byte(kindSuspect)
+		w.String(string(m.Group))
+		w.String(string(m.Accused))
+	case *proposeMsg:
+		w.Byte(kindPropose)
+		w.String(string(m.Group))
+		w.Uvarint(uint64(m.NewSeq))
+		w.String(string(m.Proposer))
+		putProcs(w, m.Members)
+	case *flushAckMsg:
+		w.Byte(kindFlushAck)
+		w.String(string(m.Group))
+		w.Uvarint(uint64(m.NewSeq))
+		w.String(string(m.Proposer))
+		w.String(string(m.From))
+		w.Bool(m.Joining)
+		putDataList(w, m.Unstable)
+		putAssigns(w, m.Assigns)
+	case *commitMsg:
+		w.Byte(kindCommit)
+		w.String(string(m.Group))
+		w.Uvarint(uint64(m.NewSeq))
+		w.String(string(m.Proposer))
+		putProcs(w, m.Members)
+		w.Uvarint(uint64(m.Order))
+		w.Uvarint(uint64(m.Liveness))
+		w.String(string(m.Leader))
+		putDataList(w, m.Cut)
+		putAssigns(w, m.Assigns)
+	default:
+		// Unreachable by construction; encode nothing decodable.
+		w.Byte(0)
+	}
+	return w.Bytes()
+}
+
+// decodeMessage parses one GCS payload, returning one of the message
+// struct pointers.
+func decodeMessage(payload []byte) (any, error) {
+	r := wire.NewReader(payload)
+	kind := r.Byte()
+	var msg any
+	switch kind {
+	case kindData:
+		msg = getData(r)
+	case kindJoin:
+		msg = &joinMsg{Group: ids.GroupID(r.String()), Joiner: ids.ProcessID(r.String())}
+	case kindLeave:
+		msg = &leaveMsg{Group: ids.GroupID(r.String()), Leaver: ids.ProcessID(r.String())}
+	case kindSuspect:
+		msg = &suspectMsg{Group: ids.GroupID(r.String()), Accused: ids.ProcessID(r.String())}
+	case kindPropose:
+		msg = &proposeMsg{
+			Group:    ids.GroupID(r.String()),
+			NewSeq:   ids.ViewSeq(r.Uvarint()),
+			Proposer: ids.ProcessID(r.String()),
+			Members:  getProcs(r),
+		}
+	case kindFlushAck:
+		msg = &flushAckMsg{
+			Group:    ids.GroupID(r.String()),
+			NewSeq:   ids.ViewSeq(r.Uvarint()),
+			Proposer: ids.ProcessID(r.String()),
+			From:     ids.ProcessID(r.String()),
+			Joining:  r.Bool(),
+			Unstable: getDataList(r),
+			Assigns:  getAssigns(r),
+		}
+	case kindCommit:
+		msg = &commitMsg{
+			Group:    ids.GroupID(r.String()),
+			NewSeq:   ids.ViewSeq(r.Uvarint()),
+			Proposer: ids.ProcessID(r.String()),
+			Members:  getProcs(r),
+			Order:    OrderMode(r.Uvarint()),
+			Liveness: Liveness(r.Uvarint()),
+			Leader:   ids.ProcessID(r.String()),
+			Cut:      getDataList(r),
+			Assigns:  getAssigns(r),
+		}
+	default:
+		return nil, fmt.Errorf("gcs: unknown message kind %d", kind)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// groupOf extracts the group a decoded message belongs to.
+func groupOf(msg any) ids.GroupID {
+	switch m := msg.(type) {
+	case *dataMsg:
+		return m.Group
+	case *joinMsg:
+		return m.Group
+	case *leaveMsg:
+		return m.Group
+	case *suspectMsg:
+		return m.Group
+	case *proposeMsg:
+		return m.Group
+	case *flushAckMsg:
+		return m.Group
+	case *commitMsg:
+		return m.Group
+	default:
+		return ""
+	}
+}

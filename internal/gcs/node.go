@@ -1,0 +1,201 @@
+package gcs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"newtop/internal/ids"
+	"newtop/internal/transport"
+	"newtop/internal/vclock"
+)
+
+// Node is one process's attachment to the group communication service. A
+// node participates in any number of groups over a single transport
+// endpoint, and all of its groups share one Lamport clock — the property
+// that preserves causality across overlapping groups (paper fig. 7).
+type Node struct {
+	ep    transport.Endpoint
+	clock *vclock.Lamport
+	dom   *domainRegistry
+
+	mu     sync.Mutex
+	groups map[ids.GroupID]*Group
+	closed bool
+
+	recvDone chan struct{}
+}
+
+// NewNode starts the service on ep. The node owns ep and closes it on
+// Close.
+func NewNode(ep transport.Endpoint) *Node {
+	n := &Node{
+		ep:       ep,
+		clock:    vclock.NewLamport(),
+		dom:      newDomainRegistry(),
+		groups:   make(map[ids.GroupID]*Group),
+		recvDone: make(chan struct{}),
+	}
+	go n.recvLoop()
+	return n
+}
+
+// ID returns the process identifier of the node's endpoint.
+func (n *Node) ID() ids.ProcessID { return n.ep.ID() }
+
+// Clock exposes the node-wide Lamport clock (read-mostly; used by tests
+// and the invocation layer for audit stamps).
+func (n *Node) Clock() *vclock.Lamport { return n.clock }
+
+// Create founds a new group with this node as its only member; the
+// founding view installs immediately.
+func (n *Node) Create(id ids.GroupID, cfg GroupConfig) (*Group, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validateDomain(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrLeft
+	}
+	if _, ok := n.groups[id]; ok {
+		return nil, fmt.Errorf("gcs: already a member of group %q", id)
+	}
+	g := newGroup(n, id, cfg, stateJoining)
+	n.groups[id] = g
+
+	g.mu.Lock()
+	g.installViewLocked(View{Seq: 1, Installer: n.ID(), Members: []ids.ProcessID{n.ID()}})
+	g.mu.Unlock()
+	return g, nil
+}
+
+// Join enters an existing group through any current member (the contact).
+// It blocks until a view containing this node is installed, the
+// configuration is found to mismatch, or ctx expires. The configuration
+// must equal the one the group was created with.
+func (n *Node) Join(ctx context.Context, id ids.GroupID, contact ids.ProcessID, cfg GroupConfig) (*Group, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validateDomain(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrLeft
+	}
+	if _, ok := n.groups[id]; ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("gcs: already a member of group %q", id)
+	}
+	g := newGroup(n, id, cfg, stateJoining)
+	n.groups[id] = g
+	n.mu.Unlock()
+
+	join := encodeMessage(&joinMsg{Group: id, Joiner: n.ID()})
+	// Join requests are idempotent, so retry briskly: a request can race a
+	// concurrent view change and be parked or dropped.
+	retry := cfg.FlushTimeout / 2
+	if cap := 10 * cfg.Tick; retry > cap {
+		retry = cap
+	}
+	if retry <= 0 {
+		retry = 50 * time.Millisecond
+	}
+	for {
+		_ = n.ep.Send(contact, join)
+
+		deadline := time.NewTimer(retry)
+		select {
+		case <-ctx.Done():
+			deadline.Stop()
+			n.abandonJoin(g)
+			return nil, ctx.Err()
+		case <-deadline.C:
+		}
+
+		g.mu.Lock()
+		switch g.state {
+		case stateNormal:
+			g.mu.Unlock()
+			return g, nil
+		case stateLeft:
+			err := g.joinErr
+			g.mu.Unlock()
+			n.dropGroup(id)
+			if err == nil {
+				err = ErrLeft
+			}
+			return nil, err
+		default:
+			g.mu.Unlock()
+		}
+	}
+}
+
+// abandonJoin tears down a half-joined group handle.
+func (n *Node) abandonJoin(g *Group) {
+	g.mu.Lock()
+	g.closeLocked(nil)
+	g.mu.Unlock()
+	n.dropGroup(g.id)
+	<-g.tickDone
+	g.events.Close()
+}
+
+// Group returns the local handle for a group, or nil if not a member.
+func (n *Node) Group(id ids.GroupID) *Group {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.groups[id]
+}
+
+// dropGroup unregisters a group handle.
+func (n *Node) dropGroup(id ids.GroupID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.groups, id)
+}
+
+// Close leaves every group and shuts the node down, closing the transport
+// endpoint.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		<-n.recvDone
+		return nil
+	}
+	n.closed = true
+	groups := make([]*Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+
+	for _, g := range groups {
+		_ = g.Leave()
+	}
+	err := n.ep.Close()
+	<-n.recvDone
+	return err
+}
+
+func (n *Node) recvLoop() {
+	defer close(n.recvDone)
+	for in := range n.ep.Inbound() {
+		msg, err := decodeMessage(in.Payload)
+		if err != nil {
+			continue // corrupt frame: drop, reliability recovers
+		}
+		gid := groupOf(msg)
+		n.mu.Lock()
+		g := n.groups[gid]
+		n.mu.Unlock()
+		if g != nil {
+			g.handle(in.From, msg)
+		}
+	}
+}

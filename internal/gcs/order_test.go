@@ -1,0 +1,340 @@
+package gcs_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+// TestCausalDeliveryRespectsHappensBefore drives a 3-member causal group:
+// b replies to everything a says; c must never see a reply before its
+// cause, even though c receives b's messages over an (artificially)
+// faster path than a's.
+func TestCausalDeliveryRespectsHappensBefore(t *testing.T) {
+	h := newHarness(t, 3)
+	groups := h.buildGroup("g", testConfig(gcs.OrderCausal))
+	a, b, c := groups[0], groups[1], groups[2]
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// b echoes each of a's messages.
+		count := 0
+		for ev := range b.Events() {
+			if ev.Type != gcs.EventDeliver || ev.Deliver.Sender != a.Me() {
+				continue
+			}
+			reply := append([]byte("re:"), ev.Deliver.Payload...)
+			if err := b.Multicast(context.Background(), reply); err != nil {
+				return
+			}
+			count++
+			if count == 10 {
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 10; i++ {
+		if err := a.Multicast(context.Background(), []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("multicast: %v", err)
+		}
+	}
+	<-done
+
+	dels := collect(t, c, 20, 15*time.Second)
+	seen := make(map[string]bool)
+	for _, d := range dels {
+		p := string(d.Payload)
+		if cause, ok := cutPrefix(p, "re:"); ok {
+			if !seen[cause] {
+				t.Fatalf("causality violated: reply %q delivered before its cause", p)
+			}
+		}
+		seen[p] = true
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// TestOrderAgreementUnderConcurrencyStress hammers both total-order
+// protocols with randomized concurrent senders and verifies every member
+// delivers the identical sequence (the core safety property).
+func TestOrderAgreementUnderConcurrencyStress(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		order := order
+		t.Run(order.String(), func(t *testing.T) {
+			const members, perMember = 4, 25
+			h := newHarness(t, members)
+			groups := h.buildGroup("g", testConfig(order))
+
+			var wg sync.WaitGroup
+			for j, g := range groups {
+				j, g := j, g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(j)))
+					for i := 0; i < perMember; i++ {
+						msg := fmt.Sprintf("%d/%d", j, i)
+						if err := g.Multicast(context.Background(), []byte(msg)); err != nil {
+							t.Errorf("multicast: %v", err)
+							return
+						}
+						if r.Intn(3) == 0 {
+							time.Sleep(time.Duration(r.Intn(3)) * time.Millisecond)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			total := members * perMember
+			var first []string
+			for i, g := range groups {
+				dels := collect(t, g, total, 30*time.Second)
+				seq := make([]string, len(dels))
+				for k, d := range dels {
+					seq[k] = string(d.Payload)
+				}
+				if i == 0 {
+					first = seq
+					continue
+				}
+				for k := range first {
+					if seq[k] != first[k] {
+						t.Fatalf("member %d disagrees at %d: %q vs %q", i, k, seq[k], first[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeliveryStampsMonotone checks that the delivery stream's stamps are
+// strictly increasing under the symmetric protocol (its total order IS the
+// stamp order).
+func TestDeliveryStampsMonotone(t *testing.T) {
+	h := newHarness(t, 3)
+	groups := h.buildGroup("g", testConfig(gcs.OrderSymmetric))
+	for i := 0; i < 5; i++ {
+		for _, g := range groups {
+			if err := g.Multicast(context.Background(), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dels := collect(t, groups[0], 15, 15*time.Second)
+	for i := 1; i < len(dels); i++ {
+		if !dels[i-1].Stamp.Less(dels[i].Stamp) {
+			t.Fatalf("stamps not increasing: %v then %v", dels[i-1].Stamp, dels[i].Stamp)
+		}
+	}
+}
+
+// TestPerSenderFIFO verifies messages from one sender always deliver in
+// send order at every member, whatever the protocol.
+func TestPerSenderFIFO(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderCausal, gcs.OrderSymmetric, gcs.OrderSequencer} {
+		order := order
+		t.Run(order.String(), func(t *testing.T) {
+			h := newHarness(t, 3)
+			groups := h.buildGroup("g", testConfig(order))
+			const n = 30
+			for i := 0; i < n; i++ {
+				if err := groups[1].Multicast(context.Background(), []byte(fmt.Sprintf("%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, g := range groups {
+				dels := collect(t, g, n, 15*time.Second)
+				for i, d := range dels {
+					if want := fmt.Sprintf("%03d", i); string(d.Payload) != want {
+						t.Fatalf("%s: position %d got %q want %q", g.Me(), i, d.Payload, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossGroupCausality reproduces the paper's fig. 7: member B issues
+// m1 into group gy, then tells A something in group gx; A reacts by
+// issuing m3 into gy. Because every node's groups share one Lamport
+// clock, gy must order m1 before m3 at all members.
+func TestCrossGroupCausality(t *testing.T) {
+	net := memnet.New(netsim.New(netsim.FastProfile(), 3))
+	mkNode := func(id ids.ProcessID) *gcs.Node {
+		ep, err := net.Endpoint(id, netsim.SiteLAN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := gcs.NewNode(ep)
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	nodeA, nodeB, nodeC := mkNode("A"), mkNode("B"), mkNode("C")
+	cfg := testConfig(gcs.OrderSymmetric)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// gx = {A, B}; gy = {A, B, C}. C only observes gy.
+	gxA, err := nodeA.Create("gx", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gxB, err := nodeB.Join(ctx, "gx", "A", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gyA, err := nodeA.Create("gy", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gyB, err := nodeB.Join(ctx, "gy", "A", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gyC, err := nodeC.Join(ctx, "gy", "A", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*gcs.Group{gyA, gyB, gyC} {
+		for len(g.View().Members) != 3 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for _, g := range []*gcs.Group{gxA, gxB} {
+		for len(g.View().Members) != 2 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The A-side reaction: when A delivers m2 in gx, it sends m3 in gy.
+	reacted := make(chan struct{})
+	go func() {
+		for ev := range gxA.Events() {
+			if ev.Type == gcs.EventDeliver && string(ev.Deliver.Payload) == "m2" {
+				if err := gyA.Multicast(context.Background(), []byte("m3")); err != nil {
+					t.Errorf("m3: %v", err)
+				}
+				close(reacted)
+				return
+			}
+		}
+	}()
+
+	// B: m1 into gy, then m2 into gx.
+	if err := gyB.Multicast(ctx, []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gxB.Multicast(ctx, []byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	<-reacted
+
+	dels := collect(t, gyC, 2, 15*time.Second)
+	if string(dels[0].Payload) != "m1" || string(dels[1].Payload) != "m3" {
+		t.Fatalf("fig. 7 violated: gy delivered %q then %q, want m1 then m3",
+			dels[0].Payload, dels[1].Payload)
+	}
+}
+
+// TestOverlappingGroupsIndependentOrders checks that one node can hold
+// different ordering protocols in different groups simultaneously, as the
+// paper requires (§2.1).
+func TestOverlappingGroupsIndependentOrders(t *testing.T) {
+	h := newHarness(t, 3)
+	sym := h.buildGroup("sym", testConfig(gcs.OrderSymmetric))
+	seq := h.buildGroup("seq", testConfig(gcs.OrderSequencer))
+
+	for i := 0; i < 5; i++ {
+		for j := range h.nodes {
+			if err := sym[j].Multicast(context.Background(), []byte(fmt.Sprintf("s%d/%d", j, i))); err != nil {
+				t.Fatal(err)
+			}
+			if err := seq[j].Multicast(context.Background(), []byte(fmt.Sprintf("q%d/%d", j, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, gs := range [][]*gcs.Group{sym, seq} {
+		var first []string
+		for i, g := range gs {
+			dels := collect(t, g, 15, 20*time.Second)
+			strs := make([]string, len(dels))
+			for k, d := range dels {
+				strs[k] = string(d.Payload)
+			}
+			if i == 0 {
+				first = strs
+			} else {
+				for k := range first {
+					if strs[k] != first[k] {
+						t.Fatalf("group %s disagreement at %d", g.ID(), k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLargeGroupDeliversPromptly guards against protocol-traffic
+// explosions in big memberships (a 15-member group once livelocked on
+// re-fired acknowledgement nulls): a single multicast must deliver
+// everywhere quickly and without message-count blowup.
+func TestLargeGroupDeliversPromptly(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		order := order
+		t.Run(order.String(), func(t *testing.T) {
+			const members = 15
+			h := newHarness(t, members)
+			cfg := testConfig(order)
+			cfg.Liveness = gcs.EventDriven // count protocol cost, not heartbeats
+			groups := h.buildGroup("g", cfg)
+
+			start := time.Now()
+			if err := groups[members-1].Multicast(context.Background(), []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range groups {
+				collect(t, g, 1, 10*time.Second)
+			}
+			if elapsed := time.Since(start); elapsed > 3*time.Second {
+				t.Fatalf("delivery across %d members took %v", members, elapsed)
+			}
+
+			// Message budget: one app multicast may cost at most a small
+			// multiple of n^2 sends (the ack round), not an unbounded storm.
+			base := h.net.Sends.Load()
+			if err := groups[0].Multicast(context.Background(), []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range groups {
+				collect(t, g, 1, 10*time.Second)
+			}
+			time.Sleep(100 * time.Millisecond)
+			sends := h.net.Sends.Load() - base
+			// One multicast (n-1 sends) + one ack round (≈ n² sends) +
+			// ordering and stability traffic; 12·n² is generous headroom,
+			// while the livelock this guards against burned hundreds of n².
+			budget := int64(12 * members * members)
+			if sends > budget {
+				t.Fatalf("one multicast cost %d sends (budget %d)", sends, budget)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package gcs
+
+import "fmt"
+
+// Stats is a snapshot of one group's protocol counters and queue depths,
+// for monitoring and tests. All counters are cumulative over the group's
+// lifetime (they survive view changes).
+type Stats struct {
+	// AppSent / NullSent count this member's own multicasts.
+	AppSent  uint64
+	NullSent uint64
+	// AppDelivered counts application messages handed to the consumer.
+	AppDelivered uint64
+	// Resent counts retransmitted messages.
+	Resent uint64
+	// ViewsInstalled counts view installations (including the first).
+	ViewsInstalled uint64
+	// CutDelivered counts messages force-delivered by view-change cuts.
+	CutDelivered uint64
+	// Pending and StoreSize are instantaneous queue depths.
+	Pending   int
+	StoreSize int
+	// Members is the current view size.
+	Members int
+}
+
+// String renders a compact one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d nulls=%d delivered=%d resent=%d views=%d cut=%d pending=%d store=%d members=%d",
+		s.AppSent, s.NullSent, s.AppDelivered, s.Resent, s.ViewsInstalled, s.CutDelivered,
+		s.Pending, s.StoreSize, s.Members)
+}
+
+// Stats returns the group's current counters.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.stats
+	s.Pending = len(g.pending)
+	s.StoreSize = len(g.store)
+	s.Members = len(g.view.Members)
+	return s
+}

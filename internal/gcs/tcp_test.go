@@ -1,0 +1,145 @@
+package gcs_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/transport/tcpnet"
+)
+
+// TestTotalOrderOverTCP runs a three-member group over real loopback TCP
+// sockets and checks order agreement — the same protocol stack the
+// simulator exercises, on the real transport.
+func TestTotalOrderOverTCP(t *testing.T) {
+	const members = 3
+	eps := make([]*tcpnet.Endpoint, members)
+	for i := range eps {
+		ep, err := tcpnet.Listen(ids.ProcessID(fmt.Sprintf("t%d", i)), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	for _, a := range eps {
+		for _, b := range eps {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	nodes := make([]*gcs.Node, members)
+	for i, ep := range eps {
+		nodes[i] = gcs.NewNode(ep)
+		defer nodes[i].Close()
+	}
+
+	cfg := testConfig(gcs.OrderSymmetric)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	groups := make([]*gcs.Group, members)
+	var err error
+	groups[0], err = nodes[0].Create("tcp-g", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < members; i++ {
+		groups[i], err = nodes[i].Join(ctx, "tcp-g", nodes[0].ID(), cfg)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	for _, g := range groups {
+		for len(g.View().Members) != members {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	const perMember = 10
+	for i := 0; i < perMember; i++ {
+		for j, g := range groups {
+			if err := g.Multicast(ctx, []byte(fmt.Sprintf("%d/%d", j, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := members * perMember
+	var first []string
+	for i, g := range groups {
+		dels := collect(t, g, total, 20*time.Second)
+		seq := make([]string, len(dels))
+		for k, d := range dels {
+			seq[k] = string(d.Payload)
+		}
+		if i == 0 {
+			first = seq
+			continue
+		}
+		for k := range first {
+			if seq[k] != first[k] {
+				t.Fatalf("TCP order disagreement at %d: %q vs %q", k, seq[k], first[k])
+			}
+		}
+	}
+}
+
+// TestQuickRandomScheduleAgreement drives randomized multicast schedules
+// (member count, per-member message counts, interleaving seeds all chosen
+// by testing/quick) and asserts the total-order agreement invariant holds
+// for every generated schedule.
+func TestQuickRandomScheduleAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized schedules are not short")
+	}
+	iteration := 0
+	f := func(memberSeed, msgSeed uint8, seqMode bool) bool {
+		iteration++
+		members := 2 + int(memberSeed)%3 // 2..4
+		perMember := 3 + int(msgSeed)%5  // 3..7
+		order := gcs.OrderSymmetric
+		if seqMode {
+			order = gcs.OrderSequencer
+		}
+
+		h := newQuickHarness(t, members, int64(iteration))
+		defer h.close()
+		groups := h.buildGroup("g", testConfig(order))
+
+		for i := 0; i < perMember; i++ {
+			for j, g := range groups {
+				msg := fmt.Sprintf("%d/%d", j, i)
+				if err := g.Multicast(context.Background(), []byte(msg)); err != nil {
+					t.Logf("multicast: %v", err)
+					return false
+				}
+			}
+		}
+		total := members * perMember
+		var first []string
+		for i, g := range groups {
+			dels := collect(t, g, total, 20*time.Second)
+			seq := make([]string, len(dels))
+			for k, d := range dels {
+				seq[k] = string(d.Payload)
+			}
+			if i == 0 {
+				first = seq
+				continue
+			}
+			for k := range first {
+				if seq[k] != first[k] {
+					t.Logf("disagreement at %d: %q vs %q", k, seq[k], first[k])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package gcs
+
+import (
+	"time"
+
+	"newtop/internal/ids"
+)
+
+// This file implements the group's timer-driven machinery: the
+// time-silence mechanism ("I am alive" nulls), the failure suspector,
+// unacknowledged-message retransmission and flush timeouts. For lively
+// groups the machinery runs for the group's whole lifetime; for
+// event-driven groups only while undelivered or unstable messages exist
+// (paper §3).
+
+func (g *Group) tickLoop() {
+	defer close(g.tickDone)
+	ticker := time.NewTicker(g.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stopTick:
+			return
+		case <-ticker.C:
+			g.tick()
+		case <-g.kickCh:
+			// A sibling domain group's frontier advanced: re-run the
+			// delivery check.
+			g.mu.Lock()
+			g.tryDeliverLocked()
+			g.publishFrontierLocked()
+			g.mu.Unlock()
+		}
+	}
+}
+
+func (g *Group) tick() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state == stateLeft || g.state == stateJoining {
+		return
+	}
+	now := time.Now()
+	g.updateActivityLocked()
+	active := g.wasActive
+
+	// Time-silence: stay lively so peers neither block the symmetric
+	// order on us nor suspect us. Under the symmetric protocol a member
+	// holding undelivered application messages acks promptly (every tick
+	// instead of every time-silence period): the decentralised order can
+	// only advance once everyone has spoken past the message — this is
+	// the "protocol specific message" traffic of §1, and the reason the
+	// paper finds closed groups expensive under symmetric ordering.
+	if g.state == stateNormal && active && len(g.view.Members) > 1 {
+		quiet := now.Sub(g.lastSentAt)
+		// The prompt ack is normally sent at ingestion; this is the
+		// fallback for acks that raced a state change. It must use the
+		// same "not yet covered" condition — re-acking every tick while a
+		// message waits on the total order would melt large groups.
+		promptAck := g.cfg.Order.Total() && g.needAckLocked() && quiet >= g.cfg.Tick
+		if quiet >= g.cfg.TimeSilence || promptAck {
+			DebugCounters.TimeSilenceNull.Add(1)
+			g.sendDataLocked(true, nil)
+		}
+	}
+	g.publishFrontierLocked()
+
+	// Retransmission of unacknowledged messages (only while the group is
+	// active: an idle event-driven group neither resends nor expects
+	// acks; anything genuinely missing is recovered when traffic or a
+	// membership change wakes the machinery).
+	if g.state == stateNormal && active {
+		g.resendLocked(now)
+	}
+
+	// Failure suspicion (only while no flush is reshaping the membership;
+	// members are legitimately silent mid-flush).
+	if g.state == stateNormal && active {
+		for _, q := range g.view.Members {
+			if q == g.me || g.suspects[q] {
+				continue
+			}
+			if now.Sub(g.lastHeard[q]) > g.cfg.SuspectTimeout {
+				g.suspects[q] = true
+				if coord := g.actingCoordinator(); coord != g.me {
+					enc := encodeMessage(&suspectMsg{Group: g.id, Accused: q})
+					_ = g.node.ep.Send(coord, enc)
+				}
+			}
+		}
+	}
+
+	// Coordinator flush timeout: exclude silent members and re-propose.
+	if g.fl != nil && now.Sub(g.fl.startedAt) > g.cfg.FlushTimeout {
+		for _, p := range g.fl.members {
+			if p == g.me {
+				continue
+			}
+			if _, ok := g.fl.acks[p]; ok {
+				continue
+			}
+			if g.view.Contains(p) {
+				g.suspects[p] = true
+			}
+			delete(g.pendingJoins, p)
+		}
+		g.fl = nil
+		g.curProposal = nil
+	}
+
+	// Participant flush timeout: the proposer died before committing.
+	if g.state == stateFlushing && g.fl == nil && g.curProposal != nil &&
+		now.Sub(g.proposalAt) > 2*g.cfg.FlushTimeout {
+		if p := g.curProposal.Proposer; p != g.me && g.view.Contains(p) {
+			g.suspects[p] = true
+		}
+		g.curProposal = nil
+	}
+
+	g.maybeStartFlushLocked()
+}
+
+// ackProgress tracks, per peer, the last acknowledgement level observed
+// and when; a resend fires only when the level has not moved for a full
+// resend window, so messages merely in flight are never duplicated.
+type ackProgress struct {
+	known uint64
+	at    time.Time
+}
+
+// resendLocked retransmits our messages that some member has failed to
+// acknowledge for longer than the resend window.
+func (g *Group) resendLocked(now time.Time) {
+	if g.sendSeq == 0 {
+		return
+	}
+	for _, q := range g.view.Members {
+		if q == g.me {
+			continue
+		}
+		known := uint64(0)
+		if row := g.ackMatrix[q]; row != nil {
+			known = row[g.me]
+		}
+		if known >= g.sendSeq {
+			delete(g.ackMark, q)
+			continue
+		}
+		mark, ok := g.ackMark[q]
+		if !ok || known > mark.known {
+			g.ackMark[q] = ackProgress{known: known, at: now}
+			continue
+		}
+		if now.Sub(mark.at) < g.cfg.Resend {
+			continue
+		}
+		g.ackMark[q] = ackProgress{known: known, at: now}
+		// Go-back-N with a bounded burst: the receiver ingests
+		// contiguously, so resending the lowest unacknowledged prefix is
+		// what unblocks it; flooding the whole backlog at once would add
+		// congestion to whatever caused the loss.
+		const resendBurst = 32
+		end := g.sendSeq
+		if known+resendBurst < end {
+			end = known + resendBurst
+		}
+		for seq := known + 1; seq <= end; seq++ {
+			DebugCounters.Resend.Add(1)
+			g.stats.Resent++
+			m, ok := g.store[ids.MsgID{Sender: g.me, Seq: seq}]
+			if !ok {
+				continue
+			}
+			_ = g.node.ep.Send(q, encodeMessage(m))
+		}
+	}
+}

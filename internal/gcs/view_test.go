@@ -1,0 +1,89 @@
+package gcs
+
+import (
+	"testing"
+
+	"newtop/internal/ids"
+)
+
+func TestViewBasics(t *testing.T) {
+	v := View{Seq: 3, Installer: "a", Members: []ids.ProcessID{"a", "b", "c"}}
+	if v.Coordinator() != "a" || v.Sequencer() != "a" {
+		t.Fatal("leader should be the lowest member")
+	}
+	if !v.Contains("b") || v.Contains("z") {
+		t.Fatal("Contains mismatch")
+	}
+	others := v.Others("b")
+	if len(others) != 2 || others[0] != "a" || others[1] != "c" {
+		t.Fatalf("Others = %v", others)
+	}
+	c := v.Clone()
+	c.Members[0] = "zz"
+	if v.Members[0] != "a" {
+		t.Fatal("Clone must deep-copy members")
+	}
+	if !v.SameIdentity(View{Seq: 3, Installer: "a"}) {
+		t.Fatal("SameIdentity by (seq, installer)")
+	}
+	if v.SameIdentity(View{Seq: 3, Installer: "b"}) {
+		t.Fatal("different installer, different identity")
+	}
+	if v.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestGroupConfigDefaults(t *testing.T) {
+	cfg := GroupConfig{}.withDefaults()
+	if cfg.Order != OrderSymmetric || cfg.Liveness != Lively {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	for _, d := range []int64{int64(cfg.TimeSilence), int64(cfg.SuspectTimeout),
+		int64(cfg.Resend), int64(cfg.FlushTimeout), int64(cfg.Tick)} {
+		if d <= 0 {
+			t.Fatal("default durations must be positive")
+		}
+	}
+	// Explicit values survive.
+	in := GroupConfig{Order: OrderSequencer, Liveness: EventDriven}
+	out := in.withDefaults()
+	if out.Order != OrderSequencer || out.Liveness != EventDriven {
+		t.Fatalf("explicit values overridden: %+v", out)
+	}
+}
+
+func TestOrderModeStrings(t *testing.T) {
+	if OrderCausal.String() != "causal" || OrderSymmetric.String() != "symmetric" ||
+		OrderSequencer.String() != "sequencer" {
+		t.Fatal("OrderMode strings")
+	}
+	if OrderMode(99).String() == "" || Liveness(99).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+	if Lively.String() != "lively" || EventDriven.String() != "event-driven" {
+		t.Fatal("Liveness strings")
+	}
+	if OrderCausal.Total() || !OrderSymmetric.Total() || !OrderSequencer.Total() {
+		t.Fatal("Total()")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{AppSent: 1, NullSent: 2, AppDelivered: 3, Members: 4}
+	str := s.String()
+	for _, want := range []string{"sent=1", "nulls=2", "delivered=3", "members=4"} {
+		if !contains(str, want) {
+			t.Errorf("Stats.String %q missing %q", str, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

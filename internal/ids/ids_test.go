@@ -1,0 +1,119 @@
+package ids_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"newtop/internal/ids"
+)
+
+func TestProcessIDBasics(t *testing.T) {
+	var p ids.ProcessID
+	if !p.Nil() {
+		t.Fatal("zero ProcessID should be Nil")
+	}
+	if q := ids.ProcessID("newcastle/s1"); q.Site() != "newcastle" {
+		t.Fatalf("Site = %q", q.Site())
+	}
+	if q := ids.ProcessID("plain"); q.Site() != "" {
+		t.Fatalf("Site of siteless id = %q", q.Site())
+	}
+	if !ids.ProcessID("a").Less("b") || ids.ProcessID("b").Less("a") {
+		t.Fatal("Less is lexicographic")
+	}
+}
+
+func TestMinProcess(t *testing.T) {
+	if got := ids.MinProcess(nil); got != "" {
+		t.Fatalf("MinProcess(nil) = %q", got)
+	}
+	got := ids.MinProcess([]ids.ProcessID{"c", "a", "b"})
+	if got != "a" {
+		t.Fatalf("MinProcess = %q", got)
+	}
+}
+
+func TestSortProcesses(t *testing.T) {
+	in := []ids.ProcessID{"b", "a", "c", "a", "b"}
+	out := ids.SortProcesses(in)
+	want := []ids.ProcessID{"a", "b", "c"}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSortProcessesQuick(t *testing.T) {
+	f := func(raw []string) bool {
+		in := make([]ids.ProcessID, len(raw))
+		for i, s := range raw {
+			in[i] = ids.ProcessID(s)
+		}
+		out := ids.SortProcesses(in)
+		// Sorted, unique, and a subset of the input.
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Less(out[j]) }) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				return false
+			}
+		}
+		seen := make(map[ids.ProcessID]bool)
+		for _, s := range raw {
+			seen[ids.ProcessID(s)] = true
+		}
+		if len(out) != len(seen) {
+			return false
+		}
+		for _, p := range out {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsProcess(t *testing.T) {
+	ps := []ids.ProcessID{"a", "b"}
+	if !ids.ContainsProcess(ps, "a") || ids.ContainsProcess(ps, "c") {
+		t.Fatal("ContainsProcess mismatch")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := map[int]int{-1: 1, 0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 10: 6, 11: 6}
+	for n, want := range cases {
+		if got := ids.Majority(n); got != want {
+			t.Errorf("Majority(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Property: a majority of n plus a majority of n always intersect.
+	f := func(n uint8) bool {
+		m := int(n%64) + 1
+		return 2*ids.Majority(m) > m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	m := ids.MsgID{Sender: "p", Seq: 9}
+	if m.String() != "p#9" {
+		t.Fatalf("MsgID.String = %q", m.String())
+	}
+	c := ids.CallID{Client: "c", Number: 3}
+	if c.String() != "c!3" {
+		t.Fatalf("CallID.String = %q", c.String())
+	}
+}

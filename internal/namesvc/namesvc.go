@@ -1,0 +1,216 @@
+// Package namesvc is a replicated naming service — the role the CORBA
+// Naming Service plays for the paper's applications — built entirely out
+// of this library's own pieces: a deterministic registry machine hosted
+// by an rsm server group, storing name → object-group-reference bindings
+// (core.GroupRef, the IOGR analogue). Clients bootstrap knowing only the
+// naming group's members; every other group is then discoverable and
+// dialable by name, with the registry itself enjoying the same
+// replication, total ordering and state transfer as any other group.
+package namesvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"newtop/internal/core"
+	"newtop/internal/rsm"
+	"newtop/internal/wire"
+)
+
+// ErrNotFound is returned by Lookup for unbound names.
+var ErrNotFound = errors.New("namesvc: name not bound")
+
+// Command opcodes of the registry machine.
+const (
+	opRegister byte = iota + 1
+	opUnregister
+)
+
+// Query opcodes.
+const (
+	qLookup byte = iota + 1
+	qList
+)
+
+// Registry is the deterministic machine: a name → encoded GroupRef map.
+// It satisfies rsm.Machine; the rsm host serializes all calls.
+type Registry struct {
+	bindings map[string][]byte
+}
+
+// NewRegistry returns an empty registry machine.
+func NewRegistry() *Registry {
+	return &Registry{bindings: make(map[string][]byte)}
+}
+
+var _ rsm.Machine = (*Registry)(nil)
+
+// Apply implements rsm.Machine.
+func (r *Registry) Apply(cmd []byte) ([]byte, error) {
+	rd := wire.NewReader(cmd)
+	op := rd.Byte()
+	name := rd.String()
+	switch op {
+	case opRegister:
+		ref := rd.Blob()
+		if err := rd.Done(); err != nil {
+			return nil, err
+		}
+		if _, err := core.DecodeGroupRef(ref); err != nil {
+			return nil, fmt.Errorf("namesvc: bad reference for %q: %w", name, err)
+		}
+		r.bindings[name] = ref
+		return []byte("ok"), nil
+	case opUnregister:
+		if err := rd.Done(); err != nil {
+			return nil, err
+		}
+		delete(r.bindings, name)
+		return []byte("ok"), nil
+	default:
+		return nil, fmt.Errorf("namesvc: unknown op %d", op)
+	}
+}
+
+// Query implements rsm.Machine.
+func (r *Registry) Query(q []byte) ([]byte, error) {
+	rd := wire.NewReader(q)
+	op := rd.Byte()
+	switch op {
+	case qLookup:
+		name := rd.String()
+		if err := rd.Done(); err != nil {
+			return nil, err
+		}
+		ref, ok := r.bindings[name]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return ref, nil
+	case qList:
+		if err := rd.Done(); err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(r.bindings))
+		for n := range r.bindings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		w := wire.NewWriter()
+		w.Uvarint(uint64(len(names)))
+		for _, n := range names {
+			w.String(n)
+		}
+		return w.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("namesvc: unknown query %d", op)
+	}
+}
+
+// Snapshot implements rsm.Machine.
+func (r *Registry) Snapshot() ([]byte, error) {
+	names := make([]string, 0, len(r.bindings))
+	for n := range r.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := wire.NewWriter()
+	w.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		w.String(n)
+		w.Blob(r.bindings[n])
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements rsm.Machine.
+func (r *Registry) Restore(b []byte) error {
+	rd := wire.NewReader(b)
+	n := rd.Uvarint()
+	if rd.Err() != nil || n > uint64(rd.Remaining()) {
+		return errors.New("namesvc: corrupt snapshot")
+	}
+	m := make(map[string][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		name := rd.String()
+		m[name] = rd.Blob()
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	r.bindings = m
+	return nil
+}
+
+// Client talks to a naming group.
+type Client struct {
+	c *rsm.Client
+}
+
+// Dial connects to the naming group described by cfg.
+func Dial(ctx context.Context, svc *core.Service, cfg rsm.Config) (*Client, error) {
+	c, err := rsm.Dial(ctx, svc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Register binds (or rebinds) a name to a group reference.
+func (c *Client) Register(ctx context.Context, name string, ref core.GroupRef) error {
+	w := wire.NewWriter()
+	w.Byte(opRegister)
+	w.String(name)
+	w.Blob(ref.Encode())
+	_, err := c.c.Apply(ctx, w.Bytes())
+	return err
+}
+
+// Unregister removes a binding (idempotent).
+func (c *Client) Unregister(ctx context.Context, name string) error {
+	w := wire.NewWriter()
+	w.Byte(opUnregister)
+	w.String(name)
+	_, err := c.c.Apply(ctx, w.Bytes())
+	return err
+}
+
+// Lookup resolves a name to a group reference.
+func (c *Client) Lookup(ctx context.Context, name string) (core.GroupRef, error) {
+	w := wire.NewWriter()
+	w.Byte(qLookup)
+	w.String(name)
+	out, err := c.c.Query(ctx, w.Bytes())
+	if err != nil {
+		return core.GroupRef{}, err
+	}
+	return core.DecodeGroupRef(out)
+}
+
+// List returns all bound names, sorted.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	w := wire.NewWriter()
+	w.Byte(qList)
+	out, err := c.c.Query(ctx, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(out)
+	n := rd.Uvarint()
+	if rd.Err() != nil || n > uint64(rd.Remaining()) {
+		return nil, errors.New("namesvc: corrupt list reply")
+	}
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		names = append(names, rd.String())
+	}
+	if err := rd.Done(); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// Close releases the client binding.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,142 @@
+package netsim_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newtop/internal/netsim"
+)
+
+func TestProfileLatencySymmetric(t *testing.T) {
+	p := netsim.EvalProfile()
+	f := func(aIdx, bIdx uint8) bool {
+		sites := []string{netsim.SiteLAN, netsim.SiteNewcastle, netsim.SiteLondon, netsim.SitePisa, "elsewhere"}
+		a, b := sites[int(aIdx)%len(sites)], sites[int(bIdx)%len(sites)]
+		return p.Latency(a, b) == p.Latency(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileLocalVsWide(t *testing.T) {
+	p := netsim.EvalProfile()
+	local := p.Latency(netsim.SiteLAN, netsim.SiteLAN)
+	for _, pair := range [][2]string{
+		{netsim.SiteNewcastle, netsim.SiteLondon},
+		{netsim.SiteNewcastle, netsim.SitePisa},
+		{netsim.SiteLondon, netsim.SitePisa},
+		{"x", "y"},
+	} {
+		wide := p.Latency(pair[0], pair[1])
+		if wide <= local*4 {
+			t.Errorf("WAN %v latency %v not clearly above LAN %v", pair, wide, local)
+		}
+	}
+}
+
+func TestJudgeLatencyAndJitter(t *testing.T) {
+	n := netsim.New(netsim.EvalProfile(), 1)
+	n.Place("a", netsim.SiteNewcastle)
+	n.Place("b", netsim.SitePisa)
+	base := netsim.EvalProfile().Latency(netsim.SiteNewcastle, netsim.SitePisa)
+	for i := 0; i < 100; i++ {
+		v := n.Judge("a", "b")
+		if !v.Deliver {
+			t.Fatal("message dropped with no fault injected")
+		}
+		if v.Latency < base || v.Latency > base+base/10 {
+			t.Fatalf("latency %v outside [%v, %v+5%%]", v.Latency, base, base)
+		}
+	}
+}
+
+func TestPartitionBlocksTraffic(t *testing.T) {
+	n := netsim.New(netsim.FastProfile(), 1)
+	n.Place("a", netsim.SiteLAN)
+	n.Place("b", netsim.SiteLAN)
+	if !n.Judge("a", "b").Deliver {
+		t.Fatal("pre-partition message dropped")
+	}
+	n.SetPartition("b", 1)
+	if n.Judge("a", "b").Deliver || n.Judge("b", "a").Deliver {
+		t.Fatal("cross-partition message delivered")
+	}
+	n.SetPartition("b", 0)
+	if !n.Judge("a", "b").Deliver {
+		t.Fatal("healed partition still blocks")
+	}
+}
+
+func TestCrashBlocksBothDirections(t *testing.T) {
+	n := netsim.New(netsim.FastProfile(), 1)
+	n.Place("a", netsim.SiteLAN)
+	n.Place("b", netsim.SiteLAN)
+	n.Crash("b")
+	if !n.Crashed("b") || n.Crashed("a") {
+		t.Fatal("Crashed bookkeeping wrong")
+	}
+	if n.Judge("a", "b").Deliver || n.Judge("b", "a").Deliver {
+		t.Fatal("crashed process still exchanging messages")
+	}
+}
+
+func TestLossProbability(t *testing.T) {
+	n := netsim.New(netsim.FastProfile(), 42)
+	n.Place("a", netsim.SiteLAN)
+	n.Place("b", netsim.SiteLAN)
+	n.SetLoss(0.5)
+	dropped := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if !n.Judge("a", "b").Deliver {
+			dropped++
+		}
+	}
+	if dropped < trials/3 || dropped > 2*trials/3 {
+		t.Fatalf("loss 0.5 dropped %d/%d", dropped, trials)
+	}
+	n.SetLoss(0)
+	if !n.Judge("a", "b").Deliver {
+		t.Fatal("loss 0 dropped a message")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	run := func() []bool {
+		n := netsim.New(netsim.FastProfile(), 99)
+		n.Place("a", netsim.SiteLAN)
+		n.Place("b", netsim.SiteLAN)
+		n.SetLoss(0.3)
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = n.Judge("a", "b").Deliver
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestPairKeyCanonical(t *testing.T) {
+	if netsim.PairKey("x", "y") != netsim.PairKey("y", "x") {
+		t.Fatal("PairKey not canonical")
+	}
+}
+
+func TestEvalProfileAboveSleepGranularity(t *testing.T) {
+	// Every modeled duration must exceed ~1.2ms or the host kernel's
+	// sleep floor silently distorts the ratios (see EXPERIMENTS.md).
+	p := netsim.EvalProfile()
+	floor := 1200 * time.Microsecond
+	for _, d := range []time.Duration{p.Local, p.DefaultWide, p.SendCPU, p.RecvCPU} {
+		if d < floor {
+			t.Errorf("duration %v below the sleep floor %v", d, floor)
+		}
+	}
+}

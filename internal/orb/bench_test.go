@@ -1,0 +1,32 @@
+package orb_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"newtop/internal/netsim"
+	"newtop/internal/orb"
+	"newtop/internal/transport/memnet"
+)
+
+func BenchmarkInvokeRoundTrip(b *testing.B) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	epA, _ := n.Endpoint("a", netsim.SiteLAN)
+	epB, _ := n.Endpoint("b", netsim.SiteLAN)
+	a, srv := orb.New(epA), orb.New(epB)
+	defer a.Close()
+	defer srv.Close()
+	srv.Register("echo", func(method string, args []byte) ([]byte, error) { return args, nil })
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	ref := orb.Ref{Target: "b", Object: "echo"}
+	payload := []byte("0123456789")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Invoke(ctx, ref, "m", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

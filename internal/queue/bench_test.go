@@ -1,0 +1,17 @@
+package queue_test
+
+import (
+	"testing"
+
+	"newtop/internal/queue"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	f := queue.New[int]()
+	defer f.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Push(i)
+		<-f.Out()
+	}
+}

@@ -1,0 +1,94 @@
+// Package queue provides an unbounded, order-preserving FIFO that bridges
+// producers that must never block (network delivery paths, protocol state
+// machines) and consumers reading from a channel. It is the backpressure
+// boundary used by every layer of the system.
+package queue
+
+import "sync"
+
+// FIFO is an unbounded buffer with a channel-based consumer side. The zero
+// value is not usable; create with New. Closing discards pending items,
+// mirroring a socket close.
+type FIFO[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []T
+	closed  bool
+	closeCh chan struct{}
+	out     chan T
+	done    chan struct{}
+}
+
+// New returns a running FIFO. Call Close to stop its pump goroutine.
+func New[T any]() *FIFO[T] {
+	f := &FIFO[T]{
+		out:     make(chan T),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	go f.pump()
+	return f
+}
+
+// Push appends one item; it never blocks. Pushes after Close are silently
+// dropped.
+func (f *FIFO[T]) Push(v T) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.buf = append(f.buf, v)
+	f.cond.Signal()
+}
+
+// Out returns the consumer channel; it is closed when the FIFO closes.
+func (f *FIFO[T]) Out() <-chan T { return f.out }
+
+// Len returns the number of buffered (not yet consumed) items.
+func (f *FIFO[T]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Close stops the pump and closes the output channel. It is idempotent and
+// waits for the pump goroutine to exit.
+func (f *FIFO[T]) Close() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.closeCh)
+		f.cond.Signal()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+func (f *FIFO[T]) pump() {
+	defer close(f.done)
+	defer close(f.out)
+	for {
+		f.mu.Lock()
+		for len(f.buf) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		v := f.buf[0]
+		f.buf = f.buf[1:]
+		f.mu.Unlock()
+
+		// Deliver outside the lock so a slow consumer only delays
+		// delivery, never producers; a concurrent Close interrupts the
+		// blocked send.
+		select {
+		case f.out <- v:
+		case <-f.closeCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package queue_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"newtop/internal/queue"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	f := queue.New[int]()
+	defer f.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		f.Push(i)
+	}
+	for i := 0; i < n; i++ {
+		got := <-f.Out()
+		if got != i {
+			t.Fatalf("out[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestFIFOProducerNeverBlocks(t *testing.T) {
+	f := queue.New[int]()
+	defer f.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Nobody consumes; a million pushes must still complete.
+		for i := 0; i < 1_000_000; i++ {
+			f.Push(i)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Push blocked")
+	}
+	if f.Len() < 1_000_000-1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFIFOCloseClosesOut(t *testing.T) {
+	f := queue.New[string]()
+	f.Push("x")
+	f.Close()
+	// After Close, the output channel is (eventually) closed; drains may
+	// or may not see pending items, but must terminate.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-f.Out():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("Out never closed")
+		}
+	}
+}
+
+func TestFIFOCloseIdempotentAndConcurrent(t *testing.T) {
+	f := queue.New[int]()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Close()
+		}()
+	}
+	wg.Wait()
+	f.Push(1) // push after close is a silent no-op
+}
+
+func TestFIFOCloseUnblocksPendingDelivery(t *testing.T) {
+	f := queue.New[int]()
+	f.Push(1) // pump picks it up and blocks on the unconsumed Out
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		f.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on an undelivered item")
+	}
+}
+
+func TestFIFOManyProducers(t *testing.T) {
+	f := queue.New[int]()
+	defer f.Close()
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Push(p*per + i)
+			}
+		}()
+	}
+	seen := make(map[int]bool)
+	got := 0
+	for got < producers*per {
+		v := <-f.Out()
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+		got++
+	}
+	wg.Wait()
+}

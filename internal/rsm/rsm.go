@@ -1,0 +1,167 @@
+// Package rsm layers a replicated state machine over the NewTop
+// invocation service: a deterministic Machine is hosted by every member
+// of a server group, writes are applied in the group's total order at
+// every replica, reads are served by any single replica, and new replicas
+// join a running group through the state-transfer facility. It is the
+// pattern the paper's replication discussion sketches (active replication
+// over totally ordered invocations plus a state transfer subsystem),
+// packaged as a small reusable API.
+package rsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"newtop/internal/core"
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+)
+
+// Machine is the deterministic application automaton. Apply mutates state
+// and is executed at every replica in the identical total order; Query is
+// read-only and may be served by a single replica. Snapshot/Restore
+// transfer state to joining replicas. Implementations need no internal
+// locking: the host serializes all four methods.
+type Machine interface {
+	Apply(cmd []byte) ([]byte, error)
+	Query(q []byte) ([]byte, error)
+	Snapshot() ([]byte, error)
+	Restore(snapshot []byte) error
+}
+
+// Method names used on the wire.
+const (
+	methodApply = "rsm.apply"
+	methodQuery = "rsm.query"
+)
+
+// Config configures a replica or a client.
+type Config struct {
+	// Group is the server group hosting the machine.
+	Group ids.GroupID
+	// Contact is an existing member (empty founds the group; required
+	// for Join and Dial).
+	Contact ids.ProcessID
+	// GCS carries the group communication timers/ordering template.
+	GCS gcs.GroupConfig
+}
+
+// Replica hosts one copy of the machine.
+type Replica struct {
+	srv *core.Server
+}
+
+// Serve founds or joins the machine's group without state transfer (use
+// for the initial membership, before any writes).
+func Serve(ctx context.Context, svc *core.Service, cfg Config, m Machine) (*Replica, error) {
+	return serve(ctx, svc, cfg, m, false)
+}
+
+// Join adds a replica to a running group with state transfer: the machine
+// is brought up to date before the call returns.
+func Join(ctx context.Context, svc *core.Service, cfg Config, m Machine) (*Replica, error) {
+	if cfg.Contact.Nil() {
+		return nil, errors.New("rsm: Join needs a contact")
+	}
+	return serve(ctx, svc, cfg, m, true)
+}
+
+func serve(ctx context.Context, svc *core.Service, cfg Config, m Machine, transfer bool) (*Replica, error) {
+	if m == nil {
+		return nil, errors.New("rsm: nil machine")
+	}
+	sc := core.ServeConfig{
+		Group:   cfg.Group,
+		Contact: cfg.Contact,
+		GCS:     cfg.GCS,
+		Handler: func(method string, args []byte) ([]byte, error) {
+			switch method {
+			case methodApply:
+				return m.Apply(args)
+			case methodQuery:
+				return m.Query(args)
+			default:
+				return nil, fmt.Errorf("rsm: unknown method %q", method)
+			}
+		},
+		Snapshot: m.Snapshot,
+		Restore:  m.Restore,
+	}
+	var srv *core.Server
+	var err error
+	if transfer {
+		srv, err = svc.ServeReplica(ctx, sc)
+	} else {
+		srv, err = svc.Serve(ctx, sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{srv: srv}, nil
+}
+
+// Roster returns the current server membership.
+func (r *Replica) Roster() []ids.ProcessID { return r.srv.ServerRoster() }
+
+// Close retires the replica.
+func (r *Replica) Close() error { return r.srv.Close() }
+
+// Client invokes the machine through a self-healing proxy.
+type Client struct {
+	proxy *core.Proxy
+}
+
+// Dial connects to the machine's group. The binding style defaults to
+// open (set cfg.GCS as for any binding); writes use wait-for-majority so
+// a write survives any minority of replica failures, reads use
+// wait-for-first.
+func Dial(ctx context.Context, svc *core.Service, cfg Config) (*Client, error) {
+	p, err := svc.NewProxy(ctx, core.BindConfig{
+		ServerGroup: cfg.Group,
+		Contact:     cfg.Contact,
+		Style:       core.Open,
+		GCS:         cfg.GCS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{proxy: p}, nil
+}
+
+// Apply executes a write on every replica (acknowledged by a majority)
+// and returns the machine's result.
+func (c *Client) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
+	replies, err := c.proxy.Invoke(ctx, methodApply, cmd, core.Majority)
+	if err != nil {
+		return nil, err
+	}
+	return firstResult(replies)
+}
+
+// Query executes a read-only command on one replica.
+func (c *Client) Query(ctx context.Context, q []byte) ([]byte, error) {
+	replies, err := c.proxy.Invoke(ctx, methodQuery, q, core.First)
+	if err != nil {
+		return nil, err
+	}
+	return firstResult(replies)
+}
+
+// Close releases the client's binding.
+func (c *Client) Close() error { return c.proxy.Close() }
+
+// firstResult extracts the first non-erroring reply.
+func firstResult(replies []core.Reply) ([]byte, error) {
+	var lastErr error
+	for _, r := range replies {
+		if r.Err == nil {
+			return r.Payload, nil
+		}
+		lastErr = r.Err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("rsm: empty reply set")
+	}
+	return nil, lastErr
+}

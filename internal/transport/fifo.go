@@ -1,0 +1,10 @@
+package transport
+
+import "newtop/internal/queue"
+
+// FIFO is the unbounded inbound-message buffer used by transport
+// implementations; see internal/queue for semantics.
+type FIFO = queue.FIFO[Inbound]
+
+// NewFIFO returns a running inbound-message FIFO.
+func NewFIFO() *FIFO { return queue.New[Inbound]() }

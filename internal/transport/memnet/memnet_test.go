@@ -1,0 +1,179 @@
+package memnet_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/transport"
+	"newtop/internal/transport/memnet"
+)
+
+func pairLatencyProfile(lat time.Duration) netsim.Profile {
+	return netsim.Profile{
+		Name:  "test",
+		Local: lat,
+	}
+}
+
+func mustEndpoint(t *testing.T, n *memnet.Net, id ids.ProcessID, site string) *memnet.Endpoint {
+	t.Helper()
+	ep, err := n.Endpoint(id, site)
+	if err != nil {
+		t.Fatalf("endpoint %s: %v", id, err)
+	}
+	return ep
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint) transport.Inbound {
+	t.Helper()
+	select {
+	case in, ok := <-ep.Inbound():
+		if !ok {
+			t.Fatal("inbound closed")
+		}
+		return in
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+		return transport.Inbound{}
+	}
+}
+
+func TestDeliveryAndFIFO(t *testing.T) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	b := mustEndpoint(t, n, "b", netsim.SiteLAN)
+	defer a.Close()
+	defer b.Close()
+
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte(fmt.Sprintf("%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		in := recvOne(t, b)
+		if want := fmt.Sprintf("%04d", i); string(in.Payload) != want || in.From != "a" {
+			t.Fatalf("got %q from %s, want %q from a", in.Payload, in.From, want)
+		}
+	}
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	n := memnet.New(netsim.New(pairLatencyProfile(lat), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	b := mustEndpoint(t, n, "b", netsim.SiteLAN)
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if got := time.Since(start); got < lat {
+		t.Fatalf("delivered in %v, want >= %v", got, lat)
+	}
+}
+
+func TestDuplicateEndpointRejected(t *testing.T) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	defer a.Close()
+	if _, err := n.Endpoint("a", netsim.SiteLAN); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestSendToUnknownPeerIsDropped(t *testing.T) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	defer a.Close()
+	if err := a.Send("ghost", []byte("x")); err != nil {
+		t.Fatalf("datagram semantics: send to unknown peer must not error, got %v", err)
+	}
+}
+
+func TestSendAfterCloseErrors(t *testing.T) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("send after close must error")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close must be fine")
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	b := mustEndpoint(t, n, "b", netsim.SiteLAN)
+	defer a.Close()
+	defer b.Close()
+
+	n.Sim().Crash("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-b.Inbound():
+		t.Fatalf("crashed endpoint received %q", in.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPartitionStopsThenHeals(t *testing.T) {
+	n := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	b := mustEndpoint(t, n, "b", netsim.SiteLAN)
+	defer a.Close()
+	defer b.Close()
+
+	n.Sim().SetPartition("b", 1)
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().SetPartition("b", 0)
+	if err := a.Send("b", []byte("found")); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if string(in.Payload) != "found" {
+		t.Fatalf("got %q, want the post-heal message only", in.Payload)
+	}
+}
+
+func TestReceiverCPUSerializes(t *testing.T) {
+	const recvCost = 20 * time.Millisecond
+	prof := netsim.Profile{Name: "cpu", RecvCPU: recvCost}
+	n := memnet.New(netsim.New(prof, 1))
+	a := mustEndpoint(t, n, "a", netsim.SiteLAN)
+	b := mustEndpoint(t, n, "b", netsim.SiteLAN)
+	c := mustEndpoint(t, n, "c", netsim.SiteLAN)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	// Two senders hit c simultaneously: the second delivery must queue
+	// behind the first on c's CPU.
+	start := time.Now()
+	if err := a.Send("c", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("c", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, c)
+	recvOne(t, c)
+	if got := time.Since(start); got < 2*recvCost {
+		t.Fatalf("two messages processed in %v, want >= %v (CPU must serialize)", got, 2*recvCost)
+	}
+}

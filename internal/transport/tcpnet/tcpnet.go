@@ -1,0 +1,248 @@
+// Package tcpnet is a real-network implementation of transport.Endpoint
+// over TCP, for deploying the NewTop service outside the simulator. Each
+// endpoint runs one listener; outbound messages use one long-lived
+// connection per peer carrying length-prefixed frames, opened with a
+// handshake frame that names the sending process.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"newtop/internal/ids"
+	"newtop/internal/transport"
+)
+
+// maxFrame bounds a single message to keep a malformed peer from forcing
+// huge allocations.
+const maxFrame = 16 << 20
+
+// Endpoint is a TCP-backed transport endpoint.
+type Endpoint struct {
+	id  ids.ProcessID
+	lis net.Listener
+
+	fifo *transport.FIFO
+
+	mu     sync.Mutex
+	peers  map[ids.ProcessID]string   // address book
+	conns  map[ids.ProcessID]net.Conn // outbound connections
+	inConn map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen starts an endpoint for process id on addr (e.g. ":7001" or
+// "127.0.0.1:0"). Addr of peers must be registered with AddPeer before
+// they can be sent to.
+func Listen(id ids.ProcessID, addr string) (*Endpoint, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen: %w", err)
+	}
+	e := &Endpoint{
+		id:     id,
+		lis:    lis,
+		fifo:   transport.NewFIFO(),
+		peers:  make(map[ids.ProcessID]string),
+		conns:  make(map[ids.ProcessID]net.Conn),
+		inConn: make(map[net.Conn]struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the listener's bound address.
+func (e *Endpoint) Addr() string { return e.lis.Addr().String() }
+
+// AddPeer registers (or updates) the address of a peer process.
+func (e *Endpoint) AddPeer(id ids.ProcessID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[id] = addr
+}
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() ids.ProcessID { return e.id }
+
+// Inbound implements transport.Endpoint.
+func (e *Endpoint) Inbound() <-chan transport.Inbound { return e.fifo.Out() }
+
+// Send implements transport.Endpoint. Connection failures make the message
+// drop (best-effort datagram semantics); the stale connection is discarded
+// so the next Send redials.
+func (e *Endpoint) Send(to ids.ProcessID, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	addr, ok := e.peers[to]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s", transport.ErrUnknownPeer, to)
+	}
+	conn := e.conns[to]
+	e.mu.Unlock()
+
+	if conn == nil {
+		var err error
+		conn, err = e.dial(to, addr)
+		if err != nil {
+			return nil // unreachable peer: drop, like a lost datagram
+		}
+	}
+	if err := writeFrame(conn, payload); err != nil {
+		e.dropConn(to, conn)
+		return nil
+	}
+	return nil
+}
+
+func (e *Endpoint) dial(to ids.ProcessID, addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// Handshake: the first frame on an outbound connection carries our
+	// identity and listen address ("id\x00addr"), so the peer can dial us
+	// back without prior configuration.
+	if err := writeFrame(conn, []byte(string(e.id)+"\x00"+e.Addr())); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		conn.Close()
+		return nil, transport.ErrClosed
+	}
+	if old := e.conns[to]; old != nil {
+		conn.Close()
+		return old, nil
+	}
+	e.conns[to] = conn
+	return conn, nil
+}
+
+func (e *Endpoint) dropConn(to ids.ProcessID, conn net.Conn) {
+	conn.Close()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns[to] == conn {
+		delete(e.conns, to)
+	}
+}
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	for c := range e.inConn {
+		c.Close()
+	}
+	e.mu.Unlock()
+
+	err := e.lis.Close()
+	e.wg.Wait()
+	e.fifo.Close()
+	return err
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.lis.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.inConn[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.inConn, conn)
+		e.mu.Unlock()
+	}()
+
+	hello, err := readFrame(conn)
+	if err != nil || len(hello) == 0 {
+		return
+	}
+	name, addr, _ := strings.Cut(string(hello), "\x00")
+	from := ids.ProcessID(name)
+	if from == "" {
+		return
+	}
+	if addr != "" {
+		// Learn the peer's return address from the handshake.
+		e.mu.Lock()
+		if _, known := e.peers[from]; !known {
+			e.peers[from] = addr
+		}
+		e.mu.Unlock()
+	}
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		e.fifo.Push(transport.Inbound{From: from, Payload: payload})
+	}
+}
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("tcpnet: frame too large")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

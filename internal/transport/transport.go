@@ -1,0 +1,48 @@
+// Package transport defines the point-to-point messaging abstraction the
+// group communication service and the mini-ORB are built on, plus a
+// protocol multiplexer so both can share a single endpoint (the paper's
+// NewTop service object owns one communication endpoint per process).
+//
+// Two implementations exist: memnet (in-memory, driven by the netsim
+// latency model; used by tests and the evaluation harness) and tcpnet
+// (real TCP; used for actual deployments).
+package transport
+
+import (
+	"errors"
+
+	"newtop/internal/ids"
+)
+
+// ErrClosed is returned by Send after an endpoint has been closed.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrUnknownPeer is returned when the destination process is not known to
+// the transport.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Inbound is one received message.
+type Inbound struct {
+	From    ids.ProcessID
+	Payload []byte
+}
+
+// Endpoint is a bidirectional, per-link-FIFO, best-effort message channel
+// owned by exactly one process. Payload bytes passed to Send must not be
+// mutated afterwards; payloads received from Inbound are owned by the
+// receiver.
+type Endpoint interface {
+	// ID returns the owning process identifier.
+	ID() ids.ProcessID
+	// Send queues payload for delivery to the named process. Delivery is
+	// FIFO per (sender, receiver) pair but not reliable: messages to
+	// crashed, partitioned or unknown peers are silently dropped, exactly
+	// like a datagram over a failed path. Send only returns an error for
+	// local conditions (endpoint closed, peer unresolvable).
+	Send(to ids.ProcessID, payload []byte) error
+	// Inbound returns the stream of received messages. The channel is
+	// closed when the endpoint closes.
+	Inbound() <-chan Inbound
+	// Close releases the endpoint. Close is idempotent.
+	Close() error
+}

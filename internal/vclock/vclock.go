@@ -1,0 +1,162 @@
+// Package vclock provides the logical clocks used by the group
+// communication service: vector clocks for causal-order delivery and
+// Lamport clocks for the symmetric (decentralised) total-order protocol.
+//
+// A node shares one Lamport clock across every group it belongs to; that is
+// what makes the symmetric total order causality-preserving even for
+// multi-group (overlapping-group) objects, per fig. 7 of the paper.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"newtop/internal/ids"
+)
+
+// VC is a vector clock: a map from process to the number of events observed
+// from that process. The zero value is not usable; create with New.
+type VC map[ids.ProcessID]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Copy returns an independent copy of the clock.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	for k, n := range v {
+		c[k] = n
+	}
+	return c
+}
+
+// Get returns the component for p (zero when absent).
+func (v VC) Get(p ids.ProcessID) uint64 { return v[p] }
+
+// Tick increments the component for p and returns the new value.
+func (v VC) Tick(p ids.ProcessID) uint64 {
+	v[p]++
+	return v[p]
+}
+
+// Merge sets every component of v to the maximum of v and o.
+func (v VC) Merge(o VC) {
+	for k, n := range o {
+		if n > v[k] {
+			v[k] = n
+		}
+	}
+}
+
+// LE reports whether v ≤ o component-wise (v happened-before-or-equal o).
+func (v VC) LE(o VC) bool {
+	for k, n := range v {
+		if n > o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the clocks are identical (treating absent
+// components as zero).
+func (v VC) Equal(o VC) bool { return v.LE(o) && o.LE(v) }
+
+// Concurrent reports whether neither clock happened before the other.
+func (v VC) Concurrent(o VC) bool { return !v.LE(o) && !o.LE(v) }
+
+// CausallyDeliverable reports whether a message stamped send (the sender's
+// clock *after* ticking its own component) from sender can be delivered at
+// a receiver whose current clock is v: the message must be the next event
+// from the sender and everything the sender had seen must be delivered.
+func (v VC) CausallyDeliverable(send VC, sender ids.ProcessID) bool {
+	if send.Get(sender) != v.Get(sender)+1 {
+		return false
+	}
+	for k, n := range send {
+		if k == sender {
+			continue
+		}
+		if n > v[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock deterministically for logs and tests.
+func (v VC) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[ids.ProcessID(k)])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Stamp is a Lamport timestamp extended with the sender identity so that
+// the happens-before partial order extends to a strict total order:
+// (t1, p1) < (t2, p2) iff t1 < t2, or t1 == t2 and p1 < p2.
+type Stamp struct {
+	Time   uint64
+	Sender ids.ProcessID
+}
+
+// Less reports whether s precedes o in the total order.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Time != o.Time {
+		return s.Time < o.Time
+	}
+	return s.Sender.Less(o.Sender)
+}
+
+// String implements fmt.Stringer.
+func (s Stamp) String() string { return fmt.Sprintf("(%d,%s)", s.Time, s.Sender) }
+
+// Lamport is a thread-safe Lamport clock. One instance is shared by all
+// groups of a node.
+type Lamport struct {
+	mu   sync.Mutex
+	time uint64
+}
+
+// NewLamport returns a clock starting at zero.
+func NewLamport() *Lamport { return &Lamport{} }
+
+// Next advances the clock for a send event and returns the new time.
+func (l *Lamport) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.time++
+	return l.time
+}
+
+// Witness records an observed remote time (a receive event), advancing the
+// local clock past it, and returns the new local time.
+func (l *Lamport) Witness(remote uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if remote > l.time {
+		l.time = remote
+	}
+	l.time++
+	return l.time
+}
+
+// Now returns the current time without advancing it.
+func (l *Lamport) Now() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.time
+}

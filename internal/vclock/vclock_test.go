@@ -1,0 +1,198 @@
+package vclock_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"newtop/internal/ids"
+	"newtop/internal/vclock"
+)
+
+// genVC builds a random small vector clock from quick-generated data.
+func genVC(vals map[uint8]uint16) vclock.VC {
+	v := vclock.New()
+	for k, n := range vals {
+		if n > 0 {
+			v[ids.ProcessID(string(rune('a'+k%8)))] = uint64(n)
+		}
+	}
+	return v
+}
+
+func TestVCBasics(t *testing.T) {
+	v := vclock.New()
+	if v.Tick("a") != 1 || v.Tick("a") != 2 {
+		t.Fatal("Tick should count up")
+	}
+	if v.Get("a") != 2 || v.Get("b") != 0 {
+		t.Fatal("Get mismatch")
+	}
+	c := v.Copy()
+	c.Tick("a")
+	if v.Get("a") != 2 {
+		t.Fatal("Copy must be independent")
+	}
+}
+
+func TestVCOrdering(t *testing.T) {
+	a := vclock.VC{"p": 1, "q": 2}
+	b := vclock.VC{"p": 2, "q": 2}
+	if !a.LE(b) || b.LE(a) {
+		t.Fatal("a < b expected")
+	}
+	c := vclock.VC{"p": 0, "q": 3}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Fatal("a || c expected")
+	}
+	if !a.Equal(a.Copy()) {
+		t.Fatal("a == copy(a)")
+	}
+}
+
+func TestVCMergeProperties(t *testing.T) {
+	// Merge is commutative, idempotent, and an upper bound.
+	f := func(m1, m2 map[uint8]uint16) bool {
+		a, b := genVC(m1), genVC(m2)
+
+		ab := a.Copy()
+		ab.Merge(b)
+		ba := b.Copy()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		aa := a.Copy()
+		aa.Merge(a)
+		if !aa.Equal(a) {
+			return false
+		}
+		return a.LE(ab) && b.LE(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCLEPartialOrder(t *testing.T) {
+	// LE is reflexive and transitive; antisymmetry implies Equal.
+	f := func(m1, m2, m3 map[uint8]uint16) bool {
+		a, b, c := genVC(m1), genVC(m2), genVC(m3)
+		if !a.LE(a) {
+			return false
+		}
+		if a.LE(b) && b.LE(c) && !a.LE(c) {
+			return false
+		}
+		if a.LE(b) && b.LE(a) && !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausallyDeliverable(t *testing.T) {
+	// Receiver has delivered 2 messages from p and 1 from q.
+	recv := vclock.VC{"p": 2, "q": 1}
+
+	// Next message from p (its third), which saw one message from q.
+	send := vclock.VC{"p": 3, "q": 1}
+	if !recv.CausallyDeliverable(send, "p") {
+		t.Fatal("in-order message should be deliverable")
+	}
+	// A message from p that skipped one (fourth) is not deliverable.
+	send = vclock.VC{"p": 4, "q": 1}
+	if recv.CausallyDeliverable(send, "p") {
+		t.Fatal("gapped message must not be deliverable")
+	}
+	// A message depending on unseen traffic from q is not deliverable.
+	send = vclock.VC{"p": 3, "q": 2}
+	if recv.CausallyDeliverable(send, "p") {
+		t.Fatal("message with unsatisfied dependency must wait")
+	}
+}
+
+func TestStampTotalOrder(t *testing.T) {
+	// (time, sender) is a strict total order: irreflexive, antisymmetric,
+	// transitive, and total on distinct stamps.
+	f := func(t1, t2, t3 uint16, s1, s2, s3 uint8) bool {
+		a := vclock.Stamp{Time: uint64(t1), Sender: ids.ProcessID(string(rune('a' + s1%4)))}
+		b := vclock.Stamp{Time: uint64(t2), Sender: ids.ProcessID(string(rune('a' + s2%4)))}
+		c := vclock.Stamp{Time: uint64(t3), Sender: ids.ProcessID(string(rune('a' + s3%4)))}
+		if a.Less(a) {
+			return false
+		}
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLamportMonotonic(t *testing.T) {
+	l := vclock.NewLamport()
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		next := l.Next()
+		if next <= prev {
+			t.Fatalf("clock went backwards: %d after %d", next, prev)
+		}
+		prev = next
+	}
+	if w := l.Witness(1000); w <= 1000 {
+		t.Fatalf("Witness(1000) = %d, want > 1000", w)
+	}
+	if l.Now() < 1000 {
+		t.Fatal("Now must not regress after Witness")
+	}
+	// Witnessing the past still advances the clock.
+	before := l.Now()
+	if w := l.Witness(1); w <= before {
+		t.Fatalf("Witness(past) = %d, want > %d", w, before)
+	}
+}
+
+func TestLamportConcurrent(t *testing.T) {
+	l := vclock.NewLamport()
+	const goroutines, perG = 8, 200
+	seen := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				if r.Intn(2) == 0 {
+					seen[g] = append(seen[g], l.Next())
+				} else {
+					l.Witness(uint64(r.Intn(100)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	all := make(map[uint64]bool)
+	for _, s := range seen {
+		for _, v := range s {
+			if all[v] {
+				t.Fatalf("duplicate Next() value %d", v)
+			}
+			all[v] = true
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package wire_test
+
+import (
+	"testing"
+
+	"newtop/internal/wire"
+)
+
+func BenchmarkEncodeSmallMessage(b *testing.B) {
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := wire.NewWriter()
+		w.Byte(1)
+		w.String("group-name")
+		w.Uvarint(uint64(i))
+		w.Uvarint(12345)
+		w.Blob(payload)
+		_ = w.Bytes()
+	}
+}
+
+func BenchmarkDecodeSmallMessage(b *testing.B) {
+	w := wire.NewWriter()
+	w.Byte(1)
+	w.String("group-name")
+	w.Uvarint(77)
+	w.Uvarint(12345)
+	w.Blob([]byte("0123456789abcdef"))
+	buf := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := wire.NewReader(buf)
+		_ = r.Byte()
+		_ = r.String()
+		_ = r.Uvarint()
+		_ = r.Uvarint()
+		_ = r.Blob()
+		if r.Done() != nil {
+			b.Fatal("decode failed")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package wire_test
+
+import (
+	"testing"
+
+	"newtop/internal/wire"
+)
+
+// FuzzReader exercises the sticky-error reader against arbitrary input;
+// any panic or non-terminating behaviour is a bug. Run with
+// `go test -fuzz=FuzzReader ./internal/wire`.
+func FuzzReader(f *testing.F) {
+	w := wire.NewWriter()
+	w.Byte(7)
+	w.String("seed")
+	w.Uvarint(123456)
+	w.Blob([]byte{1, 2, 3})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		for r.Err() == nil && r.Remaining() > 0 {
+			switch r.Byte() % 5 {
+			case 0:
+				_ = r.Uvarint()
+			case 1:
+				_ = r.Varint()
+			case 2:
+				_ = r.Blob()
+			case 3:
+				_ = r.String()
+			case 4:
+				_ = r.Bool()
+			}
+		}
+		_ = r.Done()
+	})
+}

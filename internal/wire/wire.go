@@ -1,0 +1,182 @@
+// Package wire is a small deterministic binary codec used for every
+// message the group communication service and the mini-ORB put on the
+// network. Writers append primitives to a growing buffer; readers consume
+// them with a sticky error, so encode/decode code stays linear and checks
+// one error at the end.
+//
+// Integers use unsigned varints; byte strings are length-prefixed. There
+// is no reflection and no schema: each message type hand-writes its
+// marshal/unmarshal, which keeps the format auditable and allocation-lean.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is reported when a reader runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLarge is reported when a length prefix exceeds the remaining input
+// (a corrupt or hostile frame).
+var ErrTooLarge = errors.New("wire: length prefix exceeds input")
+
+// Writer accumulates an encoded message.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with a small pre-allocated buffer.
+func NewWriter() *Writer {
+	return &Writer{buf: make([]byte, 0, 128)}
+}
+
+// Bytes returns the encoded message. The slice aliases the writer's
+// buffer; do not keep writing afterwards.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Byte appends one raw byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Blob appends a length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes an encoded message with a sticky error.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+// Done returns nil only when decoding succeeded and the input was fully
+// consumed; otherwise it describes the problem.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Blob reads a length-prefixed byte string. The result is a copy, safe to
+// retain.
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail(ErrTooLarge)
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}

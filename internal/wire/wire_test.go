@@ -1,0 +1,165 @@
+package wire_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"newtop/internal/wire"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	w := wire.NewWriter()
+	w.Byte(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-12345)
+	w.Varint(12345)
+	w.Blob([]byte{1, 2, 3})
+	w.Blob(nil)
+	w.String("héllo, wörld")
+	w.String("")
+
+	r := wire.NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("Byte = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint(0) = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint(max) = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Varint(); got != 12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Errorf("empty Blob = %v", got)
+	}
+	if got := r.String(); got != "héllo, wörld" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	w := wire.NewWriter()
+	w.String("some payload")
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := wire.NewReader(full[:cut])
+		_ = r.String()
+		if r.Done() == nil {
+			t.Fatalf("cut at %d: expected an error", cut)
+		}
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := wire.NewWriter()
+	w.Uvarint(7)
+	w.Byte(0)
+	r := wire.NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 7 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if err := r.Done(); err == nil {
+		t.Fatal("Done should report trailing bytes")
+	}
+}
+
+func TestHostileLengthPrefix(t *testing.T) {
+	// A length prefix far beyond the input must fail cleanly rather than
+	// allocate.
+	w := wire.NewWriter()
+	w.Uvarint(1 << 40)
+	r := wire.NewReader(w.Bytes())
+	if got := r.Blob(); got != nil {
+		t.Fatalf("Blob on hostile input = %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := wire.NewReader(nil)
+	_ = r.Byte() // fails
+	if r.Err() == nil {
+		t.Fatal("expected sticky error after reading past end")
+	}
+	// Every subsequent read must return zero values, not panic.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.String() != "" || r.Blob() != nil || r.Bool() {
+		t.Fatal("reads after error must return zero values")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(b bool, u uint64, v int64, blob []byte, s string) bool {
+		w := wire.NewWriter()
+		w.Bool(b)
+		w.Uvarint(u)
+		w.Varint(v)
+		w.Blob(blob)
+		w.String(s)
+		r := wire.NewReader(w.Bytes())
+		gb := r.Bool()
+		gu := r.Uvarint()
+		gv := r.Varint()
+		gblob := r.Blob()
+		gs := r.String()
+		return r.Done() == nil && gb == b && gu == u && gv == v &&
+			bytes.Equal(gblob, blob) && gs == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Arbitrary byte soup must never panic the reader.
+	f := func(input []byte) bool {
+		r := wire.NewReader(input)
+		_ = r.Byte()
+		_ = r.Uvarint()
+		_ = r.Blob()
+		_ = r.String()
+		_ = r.Varint()
+		_ = r.Bool()
+		_ = r.Done()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobIsACopy(t *testing.T) {
+	w := wire.NewWriter()
+	w.Blob([]byte("abc"))
+	buf := w.Bytes()
+	r := wire.NewReader(buf)
+	got := r.Blob()
+	buf[1] = 'X' // corrupt the underlying buffer
+	if string(got) != "abc" {
+		t.Fatalf("Blob aliases the input: %q", got)
+	}
+}
