@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging.
+#
+#   ./ci.sh          # vet, build, tests, then the same tests under -race
+#
+# The race pass is the slow half; it exists because every layer of this
+# stack is concurrent (transport pumps, gcs event loops, per-request ORB
+# goroutines, the metrics registry) and plain tests will happily miss an
+# unsynchronised counter.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all checks passed"

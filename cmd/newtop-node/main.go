@@ -25,6 +25,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +36,7 @@ import (
 	"newtop/internal/core"
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 	"newtop/internal/transport/tcpnet"
 )
 
@@ -63,6 +66,8 @@ func run(args []string) error {
 		style   = fs.String("style", "open", "binding style: open|closed (invoke)")
 		order   = fs.String("order", "sequencer", "ordering: sequencer|symmetric|causal")
 		timeout = fs.Duration("timeout", 30*time.Second, "operation deadline")
+		metrics = fs.String("metrics", "", "address to serve /metrics and /traces on (serve)")
+		statsEv = fs.Duration("stats", 10*time.Second, "interval between stats lines (serve; 0 disables)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -93,7 +98,7 @@ func run(args []string) error {
 
 	switch cmd {
 	case "serve":
-		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg)
+		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *metrics, *statsEv)
 	case "invoke":
 		return invokeCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *style, *method, *cargs, *mode)
 	case "peer":
@@ -128,7 +133,7 @@ func parseMode(s string) core.ReplyMode {
 }
 
 // serveCmd hosts one replica of a simple echo/uppercase service.
-func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig) error {
+func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, metricsAddr string, statsEvery time.Duration) error {
 	svc := core.NewService(ep)
 	defer svc.Close()
 	me := svc.ID()
@@ -153,6 +158,34 @@ func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact id
 		return err
 	}
 	fmt.Printf("serving group %q; view %v\n", group, srv.GroupView())
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics on http://%s/metrics and /traces\n", ln.Addr())
+		go func() { _ = http.Serve(ln, obs.Handler(svc.Obs())) }()
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	if statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					fmt.Printf("stats: %s\n", srv.Stats())
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

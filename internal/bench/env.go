@@ -15,6 +15,7 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/netsim"
+	"newtop/internal/obs"
 	"newtop/internal/transport/memnet"
 )
 
@@ -87,6 +88,11 @@ type Env struct {
 	Clients []*core.Service
 	// ServerGroup is the group the servers form.
 	ServerGroup ids.GroupID
+	// Obs is the world's private observability domain: every service in
+	// the environment records into it, isolated from the process default
+	// and from other worlds, so per-stage latency snapshots attribute to
+	// exactly this experiment's traffic.
+	Obs *obs.Obs
 }
 
 // EnvConfig sizes an environment.
@@ -131,6 +137,7 @@ func NewEnv(ctx context.Context, cfg EnvConfig) (*Env, error) {
 	env := &Env{
 		Net:         memnet.New(netsim.New(cfg.Profile, cfg.Seed)),
 		ServerGroup: "sg",
+		Obs:         obs.New(),
 	}
 	timers := evalTimers()
 	timers.Order = cfg.Order
@@ -146,7 +153,7 @@ func NewEnv(ctx context.Context, cfg EnvConfig) (*Env, error) {
 			env.Close()
 			return nil, err
 		}
-		svc := core.NewService(ep)
+		svc := core.NewServiceObs(ep, env.Obs)
 		env.Servers = append(env.Servers, svc)
 		handler := cfg.Handler
 		if handler == nil {
@@ -184,7 +191,7 @@ func NewEnv(ctx context.Context, cfg EnvConfig) (*Env, error) {
 			env.Close()
 			return nil, err
 		}
-		env.Clients = append(env.Clients, core.NewService(ep))
+		env.Clients = append(env.Clients, core.NewServiceObs(ep, env.Obs))
 	}
 	return env, nil
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"newtop/internal/core"
@@ -208,7 +209,11 @@ func rrExperiment(spec rrSpec) func(context.Context, Scale) (*Result, error) {
 		for _, p := range pts {
 			tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(p.Clients), fmtMS(p.Latency), fmtF(p.Throughput)})
 		}
-		return &Result{ID: spec.id, Expectation: spec.expect, Tables: []Table{tbl}}, nil
+		tables := []Table{tbl}
+		if st, ok := stageTable(spec.variant.String(), pts); ok {
+			tables = append(tables, st)
+		}
+		return &Result{ID: spec.id, Expectation: spec.expect, Tables: tables}, nil
 	}
 }
 
@@ -252,7 +257,11 @@ func rrCompareExperiment(spec rrCompareSpec) func(context.Context, Scale) (*Resu
 				fmtMS(nonrep[i].Latency), fmtF(nonrep[i].Throughput),
 			})
 		}
-		return &Result{ID: spec.id, Expectation: spec.expect, Tables: []Table{tbl}}, nil
+		tables := []Table{tbl}
+		if st, ok := stageTable("optimised open+async", opt); ok {
+			tables = append(tables, st)
+		}
+		return &Result{ID: spec.id, Expectation: spec.expect, Tables: tables}, nil
 	}
 }
 
@@ -405,6 +414,33 @@ func capCounts(xs []int, limit int) []int {
 		out = append(out, xs[0])
 	}
 	return out
+}
+
+// stageTable renders the per-stage latency histograms captured at the
+// sweep's largest client count: where the invocation's time actually went
+// (end-to-end per reply mode, servant execution, total-order delivery,
+// ORB dispatch), each with count and p50/p95/p99.
+func stageTable(label string, pts []RRPoint) (Table, bool) {
+	if len(pts) == 0 || len(pts[len(pts)-1].Stages) == 0 {
+		return Table{}, false
+	}
+	last := pts[len(pts)-1]
+	names := make([]string, 0, len(last.Stages))
+	for n := range last.Stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tbl := Table{
+		Title:  fmt.Sprintf("per-stage latency, %s, %d clients", label, last.Clients),
+		Header: []string{"stage", "count", "p50 (ms)", "p95 (ms)", "p99 (ms)"},
+	}
+	for _, n := range names {
+		h := last.Stages[n]
+		tbl.Rows = append(tbl.Rows, []string{
+			n, fmt.Sprint(h.Count), fmtMS(h.P50), fmtMS(h.P95), fmtMS(h.P99),
+		})
+	}
+	return tbl, true
 }
 
 func fmtMS(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }

@@ -10,6 +10,7 @@ import (
 	"newtop/internal/core"
 	"newtop/internal/gcs"
 	"newtop/internal/netsim"
+	"newtop/internal/obs"
 	"newtop/internal/orb"
 )
 
@@ -80,6 +81,11 @@ type RRPoint struct {
 	Latency time.Duration
 	// Throughput is aggregate completed requests per second.
 	Throughput float64
+	// Stages holds the world's per-stage latency histograms at the end of
+	// the point (invocation end-to-end, servant execution, total-order
+	// delivery, ORB dispatch), keyed by instrument name. Warm-up traffic
+	// is included; counts attribute which stages a variant exercises.
+	Stages map[string]obs.HistSnapshot
 }
 
 // rawObject is the servant name used by the no-NewTop baseline.
@@ -210,10 +216,18 @@ func runRRPoint(ctx context.Context, cfg RRConfig, nClients int) (RRPoint, error
 	if totalReqs == 0 {
 		return RRPoint{}, fmt.Errorf("no requests completed")
 	}
+	snap := env.Obs.Reg.Snapshot()
+	stages := make(map[string]obs.HistSnapshot, len(snap.Hists))
+	for name, h := range snap.Hists {
+		if h.Count > 0 {
+			stages[name] = h
+		}
+	}
 	return RRPoint{
 		Clients:    nClients,
 		Latency:    totalDur / time.Duration(totalReqs),
 		Throughput: float64(totalReqs) / elapsed.Seconds(),
+		Stages:     stages,
 	}, nil
 }
 

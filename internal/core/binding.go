@@ -9,6 +9,7 @@ import (
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 )
 
 // BindConfig configures a client's binding to a server group.
@@ -365,6 +366,13 @@ func (b *Binding) Invoke(ctx context.Context, method string, args []byte, mode R
 // retrying with the same identifier after a rebind never re-executes at
 // the servers (§4.1). The smart proxy relies on this.
 func (b *Binding) InvokeCall(ctx context.Context, call ids.CallID, method string, args []byte, mode ReplyMode) ([]Reply, error) {
+	return b.invokeTraced(ctx, call, method, args, mode, obs.NewTraceID())
+}
+
+// invokeTraced is InvokeCall with an explicit trace identifier (group-to-
+// group invocations derive a shared one so every client-group member's
+// copy of the call lands in the same trace).
+func (b *Binding) invokeTraced(ctx context.Context, call ids.CallID, method string, args []byte, mode ReplyMode, tid obs.TraceID) ([]Reply, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -384,6 +392,7 @@ func (b *Binding) InvokeCall(ctx context.Context, call ids.CallID, method string
 	b.group.Attend()
 	defer b.group.Unattend()
 
+	start := time.Now()
 	req := &invRequest{
 		Call:   call,
 		Mode:   mode,
@@ -391,7 +400,22 @@ func (b *Binding) InvokeCall(ctx context.Context, call ids.CallID, method string
 		Args:   args,
 		Client: b.svc.ID(),
 		Style:  b.cfg.Style,
+		Trace:  uint64(tid),
+		SentAt: start.UnixNano(),
 	}
+	defer func() {
+		d := time.Since(start)
+		b.svc.metrics.invokeHist(mode).Observe(d)
+		b.svc.obs.Tracer.Record(obs.Span{
+			Trace: tid,
+			Stage: "client.invoke",
+			Proc:  string(b.svc.ID()),
+			Depth: 0,
+			Start: start,
+			Dur:   d,
+			Note:  "mode=" + mode.String() + " style=" + b.cfg.Style.String(),
+		})
+	}()
 	if err := b.group.Multicast(ctx, encodeRequest(req)); err != nil {
 		if errors.Is(err, gcs.ErrLeft) {
 			return nil, ErrBindingBroken

@@ -9,6 +9,7 @@ import (
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 )
 
 // G2G is a group-to-group binding (paper §4.3): the members of a client
@@ -197,6 +198,11 @@ func (g *G2G) Invoke(ctx context.Context, number uint64, method string, args []b
 	g.group.Attend()
 	defer g.group.Unattend()
 
+	// Every client-group member derives the same trace identifier from the
+	// call's coordinates, so all duplicate copies of the request — and the
+	// request manager's processing of the surviving one — share one trace.
+	tid := obs.DeriveTraceID("g2g/"+string(g.group.ID()), number)
+	start := time.Now()
 	req := &invRequest{
 		Call:   call,
 		Mode:   mode,
@@ -204,7 +210,22 @@ func (g *G2G) Invoke(ctx context.Context, number uint64, method string, args []b
 		Args:   args,
 		Client: g.svc.ID(),
 		Style:  Open,
+		Trace:  uint64(tid),
+		SentAt: start.UnixNano(),
 	}
+	defer func() {
+		d := time.Since(start)
+		g.svc.metrics.invokeHist(mode).Observe(d)
+		g.svc.obs.Tracer.Record(obs.Span{
+			Trace: tid,
+			Stage: "client.invoke",
+			Proc:  string(g.svc.ID()),
+			Depth: 0,
+			Start: start,
+			Dur:   d,
+			Note:  "mode=" + mode.String() + " style=g2g",
+		})
+	}()
 	if err := g.group.Multicast(ctx, encodeRequest(req)); err != nil {
 		if errors.Is(err, gcs.ErrLeft) {
 			return nil, ErrBindingBroken

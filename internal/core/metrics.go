@@ -1,0 +1,44 @@
+package core
+
+import (
+	"newtop/internal/obs"
+)
+
+// coreMetrics is the invocation layer's set of pre-resolved instruments.
+type coreMetrics struct {
+	// invokeLatency is the client-observed end-to-end invocation latency,
+	// one histogram per reply mode (the paper's principal measurement).
+	invokeLatency [All + 1]*obs.Histogram
+	// execLatency is the servant handler's execution time at a replica.
+	execLatency *obs.Histogram
+	// rmRelays counts requests a request manager re-multicast into its
+	// server group (fig. 4(ii)).
+	rmRelays *obs.Counter
+	// monitorDups counts duplicate group-to-group requests filtered at the
+	// request manager (§4.3: every client-group member issues a copy).
+	monitorDups *obs.Counter
+	// rebinds counts smart-proxy rebinds after a broken binding (§2.1).
+	rebinds *obs.Counter
+}
+
+func newCoreMetrics(o *obs.Obs) *coreMetrics {
+	m := &coreMetrics{
+		execLatency: o.Reg.Histogram("core_exec_latency"),
+		rmRelays:    o.Reg.Counter("core_rm_relays"),
+		monitorDups: o.Reg.Counter("core_monitor_dup_filtered"),
+		rebinds:     o.Reg.Counter("core_proxy_rebinds"),
+	}
+	for mode := OneWay; mode <= All; mode++ {
+		m.invokeLatency[mode] = o.Reg.Histogram("core_invoke_latency_" + obs.Sanitize(mode.String()))
+	}
+	return m
+}
+
+// invokeHist returns the latency histogram for a reply mode (tolerating
+// out-of-range modes from hostile payloads).
+func (m *coreMetrics) invokeHist(mode ReplyMode) *obs.Histogram {
+	if mode < OneWay || mode > All {
+		mode = All
+	}
+	return m.invokeLatency[mode]
+}

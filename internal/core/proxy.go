@@ -108,6 +108,8 @@ func (p *Proxy) rebind(ctx context.Context, avoid ids.ProcessID) error {
 	copy(candidates, p.members)
 	p.mu.Unlock()
 	if old != nil {
+		// Only re-binds count — the initial NewProxy bind is not a failure.
+		p.svc.metrics.rebinds.Inc()
 		_ = old.Close()
 	}
 

@@ -9,6 +9,7 @@ import (
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 	"newtop/internal/vclock"
 )
 
@@ -132,6 +133,23 @@ func (s *Service) serve(ctx context.Context, cfg ServeConfig, replica bool) (*Se
 	s.servers[cfg.Group] = srv
 	s.mu.Unlock()
 
+	// Export this server's aggregated group-communication counters as
+	// gauges, computed lazily at snapshot time.
+	pfx := "core_server_" + obs.Sanitize(string(cfg.Group)) + "_"
+	s.obs.Reg.SetCollector(pfx, func(emit func(name string, v int64)) {
+		st := srv.Stats()
+		emit(pfx+"app_sent", int64(st.AppSent))
+		emit(pfx+"nulls_sent", int64(st.NullSent))
+		emit(pfx+"app_delivered", int64(st.AppDelivered))
+		emit(pfx+"resent", int64(st.Resent))
+		emit(pfx+"bytes_out", int64(st.BytesSent))
+		emit(pfx+"bytes_in", int64(st.BytesReceived))
+		emit(pfx+"views", int64(st.ViewsInstalled))
+		emit(pfx+"pending", int64(st.Pending))
+		emit(pfx+"store", int64(st.StoreSize))
+		emit(pfx+"members", int64(st.Members))
+	})
+
 	ready := make(chan error, 1)
 	go srv.groupLoop(replica, ready)
 	// Announce ourselves so the existing members add us to the server
@@ -167,6 +185,24 @@ func (srv *Server) ServerRoster() []ids.ProcessID {
 // GroupView returns the server group's current view.
 func (srv *Server) GroupView() gcs.View { return srv.group.View() }
 
+// Stats aggregates the group-communication counters of the server group
+// and every binding (client/server and client monitor) group this server
+// currently serves. The serve loop's periodic stats line and the /metrics
+// collector both read it.
+func (srv *Server) Stats() gcs.Stats {
+	srv.mu.Lock()
+	bindings := make([]*gcs.Group, 0, len(srv.bindings))
+	for _, b := range srv.bindings {
+		bindings = append(bindings, b)
+	}
+	srv.mu.Unlock()
+	st := srv.group.Stats()
+	for _, b := range bindings {
+		st = st.Plus(b.Stats())
+	}
+	return st
+}
+
 // Close leaves the server group and every binding group.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
@@ -187,6 +223,7 @@ func (srv *Server) Close() error {
 	srv.svc.mu.Lock()
 	delete(srv.svc.servers, srv.cfg.Group)
 	srv.svc.mu.Unlock()
+	srv.svc.obs.Reg.DropCollector("core_server_" + obs.Sanitize(string(srv.cfg.Group)) + "_")
 
 	for _, b := range bindings {
 		_ = b.Leave()
@@ -251,7 +288,7 @@ func (srv *Server) handleGroupEvent(ev gcs.Event) {
 // order and, unless the optimised asynchronous-forwarding path or one-way
 // mode suppresses replies, multicasts its reply within the group.
 func (srv *Server) serveForwarded(req *invRequest, stamp vclock.Stamp) {
-	rep, fresh := srv.executeOnce(req.Call, req.Method, req.Args, stamp)
+	rep, fresh := srv.executeOnce(req.Call, req.Method, req.Args, stamp, req.Trace)
 	if req.AsyncFwd || req.Mode == OneWay {
 		return
 	}
@@ -261,14 +298,17 @@ func (srv *Server) serveForwarded(req *invRequest, stamp vclock.Stamp) {
 
 // executeOnce runs the handler for a call exactly once; retries get the
 // retained reply (the paper's standard retry/dedup technique, §4.1).
-func (srv *Server) executeOnce(call ids.CallID, method string, args []byte, stamp vclock.Stamp) (invReply, bool) {
+func (srv *Server) executeOnce(call ids.CallID, method string, args []byte, stamp vclock.Stamp, trace uint64) (invReply, bool) {
 	srv.execMu.Lock()
 	defer srv.execMu.Unlock()
 	if rep, ok := srv.replies.get(call); ok {
+		rep.Trace = trace
 		return rep, false
 	}
+	start := time.Now()
 	payload, err := srv.cfg.Handler(method, args)
-	rep := invReply{Call: call, Server: srv.svc.ID(), Payload: payload}
+	d := time.Since(start)
+	rep := invReply{Call: call, Server: srv.svc.ID(), Payload: payload, Trace: trace, ExecNanos: int64(d)}
 	if err != nil {
 		rep.Err = err.Error()
 	}
@@ -276,11 +316,37 @@ func (srv *Server) executeOnce(call ids.CallID, method string, args []byte, stam
 	if srv.lastExec.Less(stamp) {
 		srv.lastExec = stamp
 	}
+	srv.svc.metrics.execLatency.Observe(d)
+	srv.svc.obs.Tracer.Record(obs.Span{
+		Trace: obs.TraceID(trace),
+		Stage: "replica.execute",
+		Proc:  string(srv.svc.ID()),
+		Depth: 3,
+		Start: start,
+		Dur:   d,
+		Note:  "method=" + method,
+	})
 	return rep, true
 }
 
 // collectReply routes a server-group reply to the collector gathering it.
 func (srv *Server) collectReply(rep invReply) {
+	// Reconstruct the remote replica's execution span from the envelope's
+	// self-reported duration (our own executions are recorded locally with
+	// true wall-clock positions, so skip those). Anchoring at receipt time
+	// keeps the span clock-skew-free at the cost of a small transit shift.
+	if rep.Trace != 0 && rep.Server != srv.svc.ID() && rep.ExecNanos > 0 {
+		d := time.Duration(rep.ExecNanos)
+		srv.svc.obs.Tracer.Record(obs.Span{
+			Trace: obs.TraceID(rep.Trace),
+			Stage: "replica.execute",
+			Proc:  string(rep.Server),
+			Depth: 3,
+			Start: time.Now().Add(-d),
+			Dur:   d,
+			Note:  "reported by envelope",
+		})
+	}
 	srv.mu.Lock()
 	c := srv.collectors[rep.Call]
 	srv.mu.Unlock()
@@ -454,7 +520,7 @@ func (srv *Server) detachBinding(gid ids.GroupID, b *gcs.Group) {
 // serveClosed handles a request delivered in a closed client/server
 // group: execute and reply straight to the client (paper fig. 3(i)).
 func (srv *Server) serveClosed(req *invRequest, stamp vclock.Stamp) {
-	rep, _ := srv.executeOnce(req.Call, req.Method, req.Args, stamp)
+	rep, _ := srv.executeOnce(req.Call, req.Method, req.Args, stamp, req.Trace)
 	if req.Mode == OneWay {
 		return
 	}
@@ -470,6 +536,7 @@ func (srv *Server) serveAsRM(b *gcs.Group, bind *bindRequest, req *invRequest) {
 		// issues (paper §4.3): first copy wins.
 		if srv.seen[req.Call] {
 			srv.mu.Unlock()
+			srv.svc.metrics.monitorDups.Inc()
 			return
 		}
 		srv.seen[req.Call] = true
@@ -483,7 +550,9 @@ func (srv *Server) serveAsRM(b *gcs.Group, bind *bindRequest, req *invRequest) {
 		// Retried call: resend the retained aggregated reply (§4.1).
 		srv.mu.Unlock()
 		if req.Mode != OneWay {
-			_ = b.Multicast(context.Background(), encodeReplySet(set))
+			resend := *set
+			resend.Trace = req.Trace
+			_ = b.Multicast(context.Background(), encodeReplySet(&resend))
 		}
 		return
 	}
@@ -493,10 +562,13 @@ func (srv *Server) serveAsRM(b *gcs.Group, bind *bindRequest, req *invRequest) {
 	}
 	srv.mu.Unlock()
 
+	srv.recordRMReceive(req)
+
 	if req.Mode == OneWay {
 		// Distribute and return: nobody is waiting.
 		fwd := *req
 		fwd.Forwarded = true
+		srv.svc.metrics.rmRelays.Inc()
 		_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd))
 		return
 	}
@@ -512,6 +584,46 @@ func (srv *Server) serveAsRM(b *gcs.Group, bind *bindRequest, req *invRequest) {
 	srv.serveCollected(b, req)
 }
 
+// recordRMReceive stitches the request manager's end of the trace: a
+// synthesized client.send span from the envelope's departure timestamp
+// (clients and request manager may disagree on clocks — the span is
+// labelled as reported) and the rm.receive marker itself.
+func (srv *Server) recordRMReceive(req *invRequest) {
+	if req.Trace == 0 {
+		return
+	}
+	now := time.Now()
+	tid := obs.TraceID(req.Trace)
+	if req.SentAt > 0 {
+		sent := time.Unix(0, req.SentAt)
+		srv.svc.obs.Tracer.Record(obs.Span{
+			Trace: tid,
+			Stage: "client.send",
+			Proc:  string(req.Client),
+			Depth: 0,
+			Start: sent,
+			Note:  "reported by envelope",
+		})
+		srv.svc.obs.Tracer.Record(obs.Span{
+			Trace: tid,
+			Stage: "rm.receive",
+			Proc:  string(srv.svc.ID()),
+			Depth: 1,
+			Start: now,
+			Note:  "mode=" + req.Mode.String() + " transit≈" + now.Sub(sent).Round(time.Microsecond).String(),
+		})
+		return
+	}
+	srv.svc.obs.Tracer.Record(obs.Span{
+		Trace: tid,
+		Stage: "rm.receive",
+		Proc:  string(srv.svc.ID()),
+		Depth: 1,
+		Start: now,
+		Note:  "mode=" + req.Mode.String(),
+	})
+}
+
 // serveAsyncForward is the restricted-group + asynchronous-message-
 // forwarding optimisation (§4.2): the request manager executes and
 // replies immediately, forwarding the request one-way for the other
@@ -520,14 +632,27 @@ func (srv *Server) serveAsyncForward(b *gcs.Group, req *invRequest) {
 	srv.execMu.Lock()
 	rep, fresh := func() (invReply, bool) {
 		if r, ok := srv.replies.get(req.Call); ok {
+			r.Trace = req.Trace
 			return r, false
 		}
+		start := time.Now()
 		payload, err := srv.cfg.Handler(req.Method, req.Args)
-		r := invReply{Call: req.Call, Server: srv.svc.ID(), Payload: payload}
+		d := time.Since(start)
+		r := invReply{Call: req.Call, Server: srv.svc.ID(), Payload: payload, Trace: req.Trace, ExecNanos: int64(d)}
 		if err != nil {
 			r.Err = err.Error()
 		}
 		srv.replies.put(req.Call, r)
+		srv.svc.metrics.execLatency.Observe(d)
+		srv.svc.obs.Tracer.Record(obs.Span{
+			Trace: obs.TraceID(req.Trace),
+			Stage: "replica.execute",
+			Proc:  string(srv.svc.ID()),
+			Depth: 3,
+			Start: start,
+			Dur:   d,
+			Note:  "method=" + req.Method,
+		})
 		return r, true
 	}()
 	// The client's reply leaves before the one-way forwarding starts —
@@ -535,16 +660,37 @@ func (srv *Server) serveAsyncForward(b *gcs.Group, req *invRequest) {
 	// the whole point of the optimisation, §4.2). Both stay under execMu
 	// so the backups apply requests in exactly the primary's execution
 	// order.
-	set := &invReplySet{Call: req.Call, Replies: []invReply{rep}}
+	set := &invReplySet{Call: req.Call, Replies: []invReply{rep}, Trace: req.Trace}
 	srv.storeSet(set)
+	replyStart := time.Now()
 	_ = b.Multicast(context.Background(), encodeReplySet(set))
+	srv.recordRMSpan(req.Trace, "rm.reply", replyStart, "async-forward")
 	if fresh {
 		fwd := *req
 		fwd.Forwarded = true
 		fwd.AsyncFwd = true
+		srv.svc.metrics.rmRelays.Inc()
+		fwdStart := time.Now()
 		_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd))
+		srv.recordRMSpan(req.Trace, "rm.forward", fwdStart, "one-way")
 	}
 	srv.execMu.Unlock()
+}
+
+// recordRMSpan records one request-manager stage span.
+func (srv *Server) recordRMSpan(trace uint64, stage string, start time.Time, note string) {
+	if trace == 0 {
+		return
+	}
+	srv.svc.obs.Tracer.Record(obs.Span{
+		Trace: obs.TraceID(trace),
+		Stage: stage,
+		Proc:  string(srv.svc.ID()),
+		Depth: 2,
+		Start: start,
+		Dur:   time.Since(start),
+		Note:  note,
+	})
 }
 
 // serveCollected is the standard open-group path: distribute the request
@@ -566,19 +712,27 @@ func (srv *Server) serveCollected(b *gcs.Group, req *invRequest) {
 	// dies after receiving the forwarded request but before replying must
 	// be suspected so the quorum shrinks.
 	srv.group.Attend()
+	srv.svc.metrics.rmRelays.Inc()
+	fwdStart := time.Now()
 	_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd))
+	srv.recordRMSpan(req.Trace, "rm.forward", fwdStart, "server-group multicast")
 
 	srv.wg.Add(1)
 	go func() {
 		defer srv.wg.Done()
 		defer srv.group.Unattend()
 		defer b.Unattend()
+		collectStart := time.Now()
 		set := c.wait(srv.rmWait)
+		srv.recordRMSpan(req.Trace, "rm.collect", collectStart, fmt.Sprintf("replies=%d", len(set.Replies)))
 		srv.mu.Lock()
 		delete(srv.collectors, req.Call)
 		srv.mu.Unlock()
+		set.Trace = req.Trace
 		srv.storeSet(set)
+		replyStart := time.Now()
 		_ = b.Multicast(context.Background(), encodeReplySet(set))
+		srv.recordRMSpan(req.Trace, "rm.reply", replyStart, "client-group multicast")
 	}()
 }
 

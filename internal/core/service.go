@@ -8,6 +8,7 @@ import (
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 	"newtop/internal/orb"
 	"newtop/internal/transport"
 )
@@ -22,9 +23,11 @@ const controlObject = "newtop"
 // communication service and the mini-ORB, and hosts any number of server
 // roles and client bindings.
 type Service struct {
-	mux  *transport.Mux
-	node *gcs.Node
-	orb  *orb.ORB
+	mux     *transport.Mux
+	node    *gcs.Node
+	orb     *orb.ORB
+	obs     *obs.Obs
+	metrics *coreMetrics
 
 	mu       sync.Mutex
 	servers  map[ids.GroupID]*Server
@@ -39,19 +42,30 @@ type callWaiter struct {
 	set     chan *invReplySet // open-style aggregated reply
 }
 
-// NewService starts an NSO on the endpoint. The service owns the endpoint.
-func NewService(ep transport.Endpoint) *Service {
-	mux := transport.NewMux(ep)
+// NewService starts an NSO on the endpoint. The service owns the
+// endpoint. Instruments register in the process-wide observability
+// domain; use NewServiceObs to direct them elsewhere.
+func NewService(ep transport.Endpoint) *Service { return NewServiceObs(ep, obs.Default()) }
+
+// NewServiceObs is NewService with an explicit observability domain (the
+// bench harness gives each experiment world its own).
+func NewServiceObs(ep transport.Endpoint, o *obs.Obs) *Service {
+	mux := transport.NewMuxObs(ep, o)
 	s := &Service{
 		mux:     mux,
-		node:    gcs.NewNode(mux.Channel(transport.ProtoGCS)),
-		orb:     orb.New(mux.Channel(transport.ProtoORB)),
+		node:    gcs.NewNodeObs(mux.Channel(transport.ProtoGCS), o),
+		orb:     orb.NewObs(mux.Channel(transport.ProtoORB), o),
+		obs:     o,
+		metrics: newCoreMetrics(o),
 		servers: make(map[ids.GroupID]*Server),
 		waiters: make(map[ids.CallID]*callWaiter),
 	}
 	s.orb.Register(controlObject, s.control)
 	return s
 }
+
+// Obs returns the service's observability domain (registry + tracer).
+func (s *Service) Obs() *obs.Obs { return s.obs }
 
 // ID returns the process identifier.
 func (s *Service) ID() ids.ProcessID { return s.node.ID() }

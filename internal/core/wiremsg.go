@@ -43,6 +43,14 @@ type invRequest struct {
 	// the request manager has already replied; other members execute for
 	// state continuity but do not multicast replies.
 	AsyncFwd bool
+	// Trace is the end-to-end trace identifier stamped by the invoking
+	// client (zero = untraced); every process touched by the call records
+	// its protocol-stage spans under it.
+	Trace uint64
+	// SentAt is the client's send time (UnixNano) so the receiving side
+	// can annotate transit time. Comparable only within one process (the
+	// simulated networks) or between skew-synchronised hosts.
+	SentAt int64
 }
 
 // invReply is one server's reply, multicast inside the server group (open
@@ -53,6 +61,12 @@ type invReply struct {
 	Server  ids.ProcessID
 	Payload []byte
 	Err     string
+	// Trace echoes the request's trace identifier.
+	Trace uint64
+	// ExecNanos is how long the servant ran on this server, reported so
+	// the request manager can reconstruct remote execution spans without
+	// cross-host clock comparisons.
+	ExecNanos int64
 }
 
 // invReplySet is the request manager's aggregated answer, multicast in the
@@ -62,6 +76,8 @@ type invReplySet struct {
 	Replies []invReply
 	// Err reports a request-manager-level failure (e.g. no servers).
 	Err string
+	// Trace echoes the request's trace identifier.
+	Trace uint64
 }
 
 func (r invReply) toReply() Reply {
@@ -84,6 +100,8 @@ func encodeRequest(m *invRequest) []byte {
 	w.Uvarint(uint64(m.Style))
 	w.Bool(m.Forwarded)
 	w.Bool(m.AsyncFwd)
+	w.Uvarint(m.Trace)
+	w.Varint(m.SentAt)
 	return w.Bytes()
 }
 
@@ -93,14 +111,18 @@ func putReply(w *wire.Writer, m invReply) {
 	w.String(string(m.Server))
 	w.Blob(m.Payload)
 	w.String(m.Err)
+	w.Uvarint(m.Trace)
+	w.Varint(m.ExecNanos)
 }
 
 func getReply(r *wire.Reader) invReply {
 	return invReply{
-		Call:    ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
-		Server:  ids.ProcessID(r.String()),
-		Payload: r.Blob(),
-		Err:     r.String(),
+		Call:      ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
+		Server:    ids.ProcessID(r.String()),
+		Payload:   r.Blob(),
+		Err:       r.String(),
+		Trace:     r.Uvarint(),
+		ExecNanos: r.Varint(),
 	}
 }
 
@@ -121,6 +143,7 @@ func encodeReplySet(m *invReplySet) []byte {
 		putReply(w, rep)
 	}
 	w.String(m.Err)
+	w.Uvarint(m.Trace)
 	return w.Bytes()
 }
 
@@ -140,6 +163,8 @@ func decodePayload(b []byte) (any, error) {
 			Style:     Style(r.Uvarint()),
 			Forwarded: r.Bool(),
 			AsyncFwd:  r.Bool(),
+			Trace:     r.Uvarint(),
+			SentAt:    r.Varint(),
 		}
 	case payloadReply:
 		rep := getReply(r)
@@ -158,6 +183,7 @@ func decodePayload(b []byte) (any, error) {
 			}
 		}
 		set.Err = r.String()
+		set.Trace = r.Uvarint()
 		msg = set
 	default:
 		return nil, fmt.Errorf("core: unknown payload kind %d", kind)

@@ -19,6 +19,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		Style:     Open,
 		Forwarded: true,
 		AsyncFwd:  true,
+		Trace:     0xdeadbeefcafe,
+		SentAt:    1722870000123456789,
 	}
 	msg, err := decodePayload(encodeRequest(req))
 	if err != nil {
@@ -27,24 +29,28 @@ func TestRequestRoundTrip(t *testing.T) {
 	got := msg.(*invRequest)
 	if got.Call != req.Call || got.Mode != req.Mode || got.Method != req.Method ||
 		string(got.Args) != string(req.Args) || got.Client != req.Client ||
-		got.Style != req.Style || got.Forwarded != req.Forwarded || got.AsyncFwd != req.AsyncFwd {
+		got.Style != req.Style || got.Forwarded != req.Forwarded || got.AsyncFwd != req.AsyncFwd ||
+		got.Trace != req.Trace || got.SentAt != req.SentAt {
 		t.Fatalf("mismatch:\n%+v\n%+v", got, req)
 	}
 }
 
 func TestReplyAndSetRoundTrip(t *testing.T) {
 	rep := invReply{
-		Call:    ids.CallID{Client: "c", Number: 7},
-		Server:  "s1",
-		Payload: []byte("result"),
-		Err:     "partial failure",
+		Call:      ids.CallID{Client: "c", Number: 7},
+		Server:    "s1",
+		Payload:   []byte("result"),
+		Err:       "partial failure",
+		Trace:     0x1234abcd,
+		ExecNanos: 987654321,
 	}
 	msg, err := decodePayload(encodeReply(rep))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := msg.(*invReply); got.Call != rep.Call || got.Server != rep.Server ||
-		string(got.Payload) != "result" || got.Err != rep.Err {
+		string(got.Payload) != "result" || got.Err != rep.Err ||
+		got.Trace != rep.Trace || got.ExecNanos != rep.ExecNanos {
 		t.Fatalf("reply mismatch: %+v", got)
 	}
 
@@ -52,13 +58,16 @@ func TestReplyAndSetRoundTrip(t *testing.T) {
 		Call:    rep.Call,
 		Replies: []invReply{rep, {Call: rep.Call, Server: "s2", Payload: []byte("x")}},
 		Err:     "",
+		Trace:   0x1234abcd,
 	}
 	msg, err = decodePayload(encodeReplySet(set))
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := msg.(*invReplySet)
-	if got.Call != set.Call || len(got.Replies) != 2 || got.Replies[1].Server != "s2" {
+	if got.Call != set.Call || len(got.Replies) != 2 || got.Replies[1].Server != "s2" ||
+		got.Trace != set.Trace || got.Replies[0].Trace != rep.Trace ||
+		got.Replies[0].ExecNanos != rep.ExecNanos {
 		t.Fatalf("set mismatch: %+v", got)
 	}
 }

@@ -30,7 +30,7 @@ func (g *Group) handleJoin(m *joinMsg) {
 	}
 	coord := g.actingCoordinator()
 	if coord != g.me {
-		_ = g.node.ep.Send(coord, encodeMessage(m))
+		g.sendLocked(coord, encodeMessage(m))
 		return
 	}
 	if g.view.Contains(m.Joiner) || g.pendingJoins[m.Joiner] {
@@ -51,7 +51,7 @@ func (g *Group) handleLeave(m *leaveMsg) {
 	}
 	coord := g.actingCoordinator()
 	if coord != g.me {
-		_ = g.node.ep.Send(coord, encodeMessage(m))
+		g.sendLocked(coord, encodeMessage(m))
 		return
 	}
 	if !g.view.Contains(m.Leaver) || g.pendingLeaves[m.Leaver] {
@@ -129,7 +129,7 @@ func (g *Group) maybeStartFlushLocked() {
 	enc := encodeMessage(prop)
 	for _, p := range target {
 		if p != g.me {
-			_ = g.node.ep.Send(p, enc)
+			g.sendLocked(p, enc)
 		}
 	}
 	// Self-ack with our own unstable state.
@@ -210,7 +210,7 @@ func (g *Group) handlePropose(p *proposeMsg) {
 		g.acceptFlushAckLocked(ack)
 		return
 	}
-	_ = g.node.ep.Send(p.Proposer, encodeMessage(ack))
+	g.sendLocked(p.Proposer, encodeMessage(ack))
 }
 
 // handleFlushAck processes one member's flush acknowledgement at the
@@ -283,7 +283,7 @@ func (g *Group) commitFlushLocked() {
 	enc := encodeMessage(commit)
 	for _, p := range fl.members {
 		if p != g.me {
-			_ = g.node.ep.Send(p, enc)
+			g.sendLocked(p, enc)
 		}
 	}
 	g.applyCommitLocked(commit)
@@ -357,6 +357,8 @@ func (g *Group) deliverCutLocked(cut []*dataMsg) {
 		if !m.Null {
 			g.stats.AppDelivered++
 			g.stats.CutDelivered++
+			g.metrics.appDelivered.Inc()
+			g.metrics.cutDelivered.Inc()
 			g.events.Push(Event{Type: EventDeliver, Deliver: &Delivery{
 				Sender:  m.Sender,
 				Payload: m.Payload,

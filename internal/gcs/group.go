@@ -93,7 +93,8 @@ type Group struct {
 
 	events *queue.FIFO[Event]
 
-	stats Stats
+	stats   Stats
+	metrics *gcsMetrics
 
 	// domain is the node-local total-order domain (nil when not in one);
 	// kickCh wakes the tick loop when a sibling's frontier advances.
@@ -123,6 +124,7 @@ func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
 		id:            id,
 		cfg:           cfg,
 		me:            n.ID(),
+		metrics:       n.metrics,
 		state:         st,
 		lastHeard:     make(map[ids.ProcessID]time.Time),
 		suspects:      make(map[ids.ProcessID]bool),
@@ -133,6 +135,7 @@ func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
 		tickDone:      make(chan struct{}),
 	}
 	g.cond = sync.NewCond(&g.mu)
+	g.events.OnDepth(func(n int) { g.metrics.eventsHigh.SetMax(int64(n)) })
 	g.kickCh = make(chan struct{}, 1)
 	if cfg.Domain != "" {
 		g.domain = n.dom.state(cfg.Domain)
@@ -231,7 +234,7 @@ func (g *Group) Suspect(p ids.ProcessID) {
 	}
 	g.suspects[p] = true
 	if coord := g.actingCoordinator(); coord != g.me {
-		_ = g.node.ep.Send(coord, encodeMessage(&suspectMsg{Group: g.id, Accused: p}))
+		g.sendLocked(coord, encodeMessage(&suspectMsg{Group: g.id, Accused: p}))
 		return
 	}
 	g.maybeStartFlushLocked()
@@ -297,12 +300,15 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 	if null {
 		DebugCounters.Null.Add(1)
 		g.stats.NullSent++
+		g.metrics.nullsSent.Inc()
 	} else {
 		DebugCounters.App.Add(1)
 		g.stats.AppSent++
+		g.metrics.appSent.Inc()
 	}
 	g.sendSeq++
 	m := &dataMsg{
+		bornAt:        time.Now(),
 		Group:         g.id,
 		ViewSeq:       g.view.Seq,
 		ViewInstaller: g.view.Installer,
@@ -343,9 +349,17 @@ func (g *Group) broadcastLocked(m *dataMsg) {
 	enc := encodeMessage(m)
 	for _, p := range g.view.Members {
 		if p != g.me {
-			_ = g.node.ep.Send(p, enc) // best-effort; resend machinery recovers
+			g.sendLocked(p, enc) // best-effort; resend machinery recovers
 		}
 	}
+}
+
+// sendLocked transmits one encoded protocol message, counting the bytes
+// against the group's wire totals.
+func (g *Group) sendLocked(to ids.ProcessID, enc []byte) {
+	g.stats.BytesSent += uint64(len(enc))
+	g.metrics.bytesSent.Add(uint64(len(enc)))
+	_ = g.node.ep.Send(to, enc)
 }
 
 // sendVCLocked snapshots the causal context of a new send.
@@ -740,6 +754,12 @@ func (g *Group) deliverLocked(m *dataMsg) {
 			d.DomainSeq = g.domain.nextSeq()
 		}
 		g.stats.AppDelivered++
+		g.metrics.appDelivered.Inc()
+		// The ordering cost of our own multicasts is measurable without
+		// clock skew: bornAt is only set on locally-built messages.
+		if !m.bornAt.IsZero() {
+			g.metrics.deliveryLatency.Observe(time.Since(m.bornAt))
+		}
 		g.events.Push(Event{Type: EventDeliver, Deliver: d})
 	}
 	g.compactStableLocked()
@@ -823,6 +843,13 @@ func (g *Group) installViewLocked(v View) {
 		}
 	}
 	g.stats.ViewsInstalled++
+	g.metrics.viewsInstalled.Inc()
+	// proposalAt is non-zero iff this installation concludes a membership
+	// round this member took part in (founding views install directly).
+	if !g.proposalAt.IsZero() {
+		g.metrics.viewChange.Observe(time.Since(g.proposalAt))
+		g.proposalAt = time.Time{}
+	}
 	g.curProposal = nil
 	g.fl = nil
 	g.state = stateNormal
@@ -840,11 +867,11 @@ func (g *Group) installViewLocked(v View) {
 	// requesters retry.
 	if coord := g.actingCoordinator(); coord != g.me {
 		for p := range g.pendingJoins {
-			_ = g.node.ep.Send(coord, encodeMessage(&joinMsg{Group: g.id, Joiner: p}))
+			g.sendLocked(coord, encodeMessage(&joinMsg{Group: g.id, Joiner: p}))
 		}
 		g.pendingJoins = make(map[ids.ProcessID]bool)
 		for p := range g.pendingLeaves {
-			_ = g.node.ep.Send(coord, encodeMessage(&leaveMsg{Group: g.id, Leaver: p}))
+			g.sendLocked(coord, encodeMessage(&leaveMsg{Group: g.id, Leaver: p}))
 		}
 		g.pendingLeaves = make(map[ids.ProcessID]bool)
 	} else if len(g.pendingJoins)+len(g.pendingLeaves) > 0 {
@@ -868,7 +895,7 @@ func (g *Group) Leave() error {
 	g.mu.Unlock()
 
 	if coord != "" && coord != me {
-		_ = g.node.ep.Send(coord, enc)
+		g.sendLocked(coord, enc)
 	}
 	g.node.dropGroup(g.id)
 	<-g.tickDone
@@ -894,10 +921,17 @@ func (g *Group) closeLocked(err error) {
 	g.cond.Broadcast()
 }
 
-// handle dispatches one decoded inbound message.
-func (g *Group) handle(from ids.ProcessID, msg any) {
+// handle dispatches one decoded inbound message; size is the wire size of
+// the frame it arrived in.
+func (g *Group) handle(from ids.ProcessID, msg any, size int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.stats.BytesReceived += uint64(size)
+	g.metrics.bytesRecv.Add(uint64(size))
+	defer func() {
+		g.metrics.pendingHigh.SetMax(int64(len(g.pending)))
+		g.metrics.storeHigh.SetMax(int64(len(g.store)))
+	}()
 	switch m := msg.(type) {
 	case *dataMsg:
 		g.handleData(m)

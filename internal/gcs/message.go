@@ -3,6 +3,7 @@ package gcs
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"newtop/internal/ids"
 	"newtop/internal/vclock"
@@ -50,6 +51,11 @@ type dataMsg struct {
 	// only the sequencer populates it. Processed at ingestion, which is
 	// what prevents order/data delivery deadlocks.
 	Assigns []assign
+
+	// bornAt is the local build time of this member's own messages; it
+	// never crosses the wire (received copies have the zero value) and
+	// exists so delivery latency can be measured skew-free.
+	bornAt time.Time
 }
 
 func (m *dataMsg) msgID() ids.MsgID { return ids.MsgID{Sender: m.Sender, Seq: m.Seq} }

@@ -1,0 +1,49 @@
+package gcs
+
+import (
+	"newtop/internal/obs"
+)
+
+// gcsMetrics is the group communication layer's set of pre-resolved
+// instruments, shared by every group of one node. Counters mirror the
+// per-group Stats fields as process-wide totals; the histograms capture
+// what Stats cannot: the latency from a member's own multicast to its
+// total-order delivery, and the duration of membership changes.
+type gcsMetrics struct {
+	appSent, nullsSent *obs.Counter
+	appDelivered       *obs.Counter
+	resent             *obs.Counter
+	bytesSent          *obs.Counter
+	bytesRecv          *obs.Counter
+	viewsInstalled     *obs.Counter
+	cutDelivered       *obs.Counter
+
+	// deliveryLatency: own application multicast → local total-order
+	// delivery (the protocol's ordering cost, measured without clock
+	// skew because both ends are the same process).
+	deliveryLatency *obs.Histogram
+	// viewChange: flush proposal seen → new view installed.
+	viewChange *obs.Histogram
+
+	// High-water marks of the delivery and retention queues, and of the
+	// consumer-facing event queue.
+	pendingHigh, storeHigh, eventsHigh *obs.Gauge
+}
+
+func newGCSMetrics(o *obs.Obs) *gcsMetrics {
+	return &gcsMetrics{
+		appSent:         o.Reg.Counter("gcs_app_sent"),
+		nullsSent:       o.Reg.Counter("gcs_nulls_sent"),
+		appDelivered:    o.Reg.Counter("gcs_app_delivered"),
+		resent:          o.Reg.Counter("gcs_resent"),
+		bytesSent:       o.Reg.Counter("gcs_bytes_sent"),
+		bytesRecv:       o.Reg.Counter("gcs_bytes_recv"),
+		viewsInstalled:  o.Reg.Counter("gcs_views_installed"),
+		cutDelivered:    o.Reg.Counter("gcs_cut_delivered"),
+		deliveryLatency: o.Reg.Histogram("gcs_delivery_latency"),
+		viewChange:      o.Reg.Histogram("gcs_view_change"),
+		pendingHigh:     o.Reg.Gauge("gcs_pending_highwater"),
+		storeHigh:       o.Reg.Gauge("gcs_store_highwater"),
+		eventsHigh:      o.Reg.Gauge("gcs_events_queue_highwater"),
+	}
+}

@@ -1,0 +1,96 @@
+package gcs_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/obs"
+	"newtop/internal/transport/memnet"
+)
+
+// newObsHarness is newHarness with every node in one shared isolated
+// observability domain.
+func newObsHarness(t *testing.T, n int, o *obs.Obs) *harness {
+	t.Helper()
+	h := &harness{t: t, net: memnet.New(netsim.New(netsim.FastProfile(), 1))}
+	for i := 0; i < n; i++ {
+		id := ids.ProcessID(fmt.Sprintf("n%02d", i))
+		ep, err := h.net.Endpoint(id, netsim.SiteLAN)
+		if err != nil {
+			t.Fatalf("endpoint %s: %v", id, err)
+		}
+		h.nodes = append(h.nodes, gcs.NewNodeObs(ep, o))
+	}
+	t.Cleanup(h.close)
+	return h
+}
+
+func TestMetricsAndByteCounters(t *testing.T) {
+	o := obs.New()
+	h := newObsHarness(t, 3, o)
+	groups := h.buildGroup("g", testConfig(gcs.OrderSymmetric))
+
+	for i := 0; i < 5; i++ {
+		if err := groups[0].Multicast(context.Background(), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range groups {
+		collect(t, g, 5, 10*time.Second)
+	}
+
+	s0 := groups[0].Stats()
+	if s0.BytesSent == 0 {
+		t.Fatalf("sender BytesSent = 0: %+v", s0)
+	}
+	s1 := groups[1].Stats()
+	if s1.BytesReceived == 0 || s1.BytesSent == 0 {
+		t.Fatalf("receiver byte counters: %+v", s1)
+	}
+
+	snap := o.Reg.Snapshot()
+	if snap.Counters["gcs_app_sent"] != 5 {
+		t.Fatalf("gcs_app_sent = %d, want 5", snap.Counters["gcs_app_sent"])
+	}
+	// All three members deliver all five messages.
+	if got := snap.Counters["gcs_app_delivered"]; got != 15 {
+		t.Fatalf("gcs_app_delivered = %d, want 15", got)
+	}
+	if snap.Counters["gcs_bytes_sent"] == 0 || snap.Counters["gcs_bytes_recv"] == 0 {
+		t.Fatal("byte totals not counted")
+	}
+	// Two joins happened, so every member saw membership rounds.
+	if snap.Counters["gcs_views_installed"] < 3 {
+		t.Fatalf("gcs_views_installed = %d", snap.Counters["gcs_views_installed"])
+	}
+	if h.nodes[0].Obs() != o {
+		t.Fatal("Obs accessor must return the construction-time domain")
+	}
+	// The sender delivered its own five multicasts: delivery latency must
+	// have five skew-free samples (receivers never observe it).
+	dl := snap.Hists["gcs_delivery_latency"]
+	if dl.Count != 5 {
+		t.Fatalf("gcs_delivery_latency count = %d, want 5", dl.Count)
+	}
+	if dl.Max <= 0 {
+		t.Fatalf("delivery latency max = %v", dl.Max)
+	}
+	// Joiners took part in flush rounds: view-change duration recorded.
+	if snap.Hists["gcs_view_change"].Count == 0 {
+		t.Fatal("no view-change durations recorded")
+	}
+}
+
+func TestStatsPlus(t *testing.T) {
+	a := gcs.Stats{AppSent: 1, BytesSent: 10, Pending: 2, Members: 3}
+	b := gcs.Stats{AppSent: 2, BytesSent: 5, Pending: 1, Members: 3}
+	sum := a.Plus(b)
+	if sum.AppSent != 3 || sum.BytesSent != 15 || sum.Pending != 3 || sum.Members != 6 {
+		t.Fatalf("Plus wrong: %+v", sum)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 	"newtop/internal/transport"
 	"newtop/internal/vclock"
 )
@@ -16,9 +17,11 @@ import (
 // endpoint, and all of its groups share one Lamport clock — the property
 // that preserves causality across overlapping groups (paper fig. 7).
 type Node struct {
-	ep    transport.Endpoint
-	clock *vclock.Lamport
-	dom   *domainRegistry
+	ep      transport.Endpoint
+	clock   *vclock.Lamport
+	dom     *domainRegistry
+	obs     *obs.Obs
+	metrics *gcsMetrics
 
 	mu     sync.Mutex
 	groups map[ids.GroupID]*Group
@@ -28,18 +31,28 @@ type Node struct {
 }
 
 // NewNode starts the service on ep. The node owns ep and closes it on
-// Close.
-func NewNode(ep transport.Endpoint) *Node {
+// Close. Instruments register in the process-wide observability domain;
+// use NewNodeObs to direct them elsewhere.
+func NewNode(ep transport.Endpoint) *Node { return NewNodeObs(ep, obs.Default()) }
+
+// NewNodeObs is NewNode with an explicit observability domain (the bench
+// harness gives each experiment world its own).
+func NewNodeObs(ep transport.Endpoint, o *obs.Obs) *Node {
 	n := &Node{
 		ep:       ep,
 		clock:    vclock.NewLamport(),
 		dom:      newDomainRegistry(),
+		obs:      o,
+		metrics:  newGCSMetrics(o),
 		groups:   make(map[ids.GroupID]*Group),
 		recvDone: make(chan struct{}),
 	}
 	go n.recvLoop()
 	return n
 }
+
+// Obs returns the node's observability domain.
+func (n *Node) Obs() *obs.Obs { return n.obs }
 
 // ID returns the process identifier of the node's endpoint.
 func (n *Node) ID() ids.ProcessID { return n.ep.ID() }
@@ -195,7 +208,7 @@ func (n *Node) recvLoop() {
 		g := n.groups[gid]
 		n.mu.Unlock()
 		if g != nil {
-			g.handle(in.From, msg)
+			g.handle(in.From, msg, len(in.Payload))
 		}
 	}
 }

@@ -306,14 +306,22 @@ func TestLargeGroupDeliversPromptly(t *testing.T) {
 			cfg.Liveness = gcs.EventDriven // count protocol cost, not heartbeats
 			groups := h.buildGroup("g", cfg)
 
+			// The deadlines are real-time bounds on a 15-member protocol
+			// round; the race detector's slowdown (worst on single-core
+			// machines) stretches them without indicating a regression.
+			deadline, prompt := 10*time.Second, 3*time.Second
+			if raceEnabled {
+				deadline, prompt = 40*time.Second, 20*time.Second
+			}
+
 			start := time.Now()
 			if err := groups[members-1].Multicast(context.Background(), []byte("one")); err != nil {
 				t.Fatal(err)
 			}
 			for _, g := range groups {
-				collect(t, g, 1, 10*time.Second)
+				collect(t, g, 1, deadline)
 			}
-			if elapsed := time.Since(start); elapsed > 3*time.Second {
+			if elapsed := time.Since(start); elapsed > prompt {
 				t.Fatalf("delivery across %d members took %v", members, elapsed)
 			}
 
@@ -324,15 +332,19 @@ func TestLargeGroupDeliversPromptly(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, g := range groups {
-				collect(t, g, 1, 10*time.Second)
+				collect(t, g, 1, deadline)
 			}
 			time.Sleep(100 * time.Millisecond)
 			sends := h.net.Sends.Load() - base
 			// One multicast (n-1 sends) + one ack round (≈ n² sends) +
 			// ordering and stability traffic; 12·n² is generous headroom,
 			// while the livelock this guards against burned hundreds of n².
+			// The budget is a function of the protocol's real-time timers,
+			// so it only means anything at native speed: the race
+			// detector's slowdown legitimately multiplies null and resend
+			// traffic.
 			budget := int64(12 * members * members)
-			if sends > budget {
+			if sends > budget && !raceEnabled {
 				t.Fatalf("one multicast cost %d sends (budget %d)", sends, budget)
 			}
 		})

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gcs_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package gcs_test
+
+// raceEnabled reports whether the race detector is active; timing-derived
+// assertions (message budgets) are meaningless under its slowdown.
+const raceEnabled = true

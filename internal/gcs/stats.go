@@ -13,6 +13,10 @@ type Stats struct {
 	AppDelivered uint64
 	// Resent counts retransmitted messages.
 	Resent uint64
+	// BytesSent / BytesReceived count the wire bytes of this group's
+	// protocol traffic (data, acks, flush and membership messages).
+	BytesSent     uint64
+	BytesReceived uint64
 	// ViewsInstalled counts view installations (including the first).
 	ViewsInstalled uint64
 	// CutDelivered counts messages force-delivered by view-change cuts.
@@ -26,9 +30,28 @@ type Stats struct {
 
 // String renders a compact one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("sent=%d nulls=%d delivered=%d resent=%d views=%d cut=%d pending=%d store=%d members=%d",
-		s.AppSent, s.NullSent, s.AppDelivered, s.Resent, s.ViewsInstalled, s.CutDelivered,
-		s.Pending, s.StoreSize, s.Members)
+	return fmt.Sprintf("sent=%d nulls=%d delivered=%d resent=%d bytesOut=%d bytesIn=%d views=%d cut=%d pending=%d store=%d members=%d",
+		s.AppSent, s.NullSent, s.AppDelivered, s.Resent, s.BytesSent, s.BytesReceived,
+		s.ViewsInstalled, s.CutDelivered, s.Pending, s.StoreSize, s.Members)
+}
+
+// Plus returns the field-wise sum of two snapshots (instantaneous depths
+// and view size add too, which is what an aggregate over one server's
+// groups wants: total queued work across its groups).
+func (s Stats) Plus(t Stats) Stats {
+	return Stats{
+		AppSent:        s.AppSent + t.AppSent,
+		NullSent:       s.NullSent + t.NullSent,
+		AppDelivered:   s.AppDelivered + t.AppDelivered,
+		Resent:         s.Resent + t.Resent,
+		BytesSent:      s.BytesSent + t.BytesSent,
+		BytesReceived:  s.BytesReceived + t.BytesReceived,
+		ViewsInstalled: s.ViewsInstalled + t.ViewsInstalled,
+		CutDelivered:   s.CutDelivered + t.CutDelivered,
+		Pending:        s.Pending + t.Pending,
+		StoreSize:      s.StoreSize + t.StoreSize,
+		Members:        s.Members + t.Members,
+	}
 }
 
 // Stats returns the group's current counters.

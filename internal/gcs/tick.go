@@ -84,7 +84,7 @@ func (g *Group) tick() {
 				g.suspects[q] = true
 				if coord := g.actingCoordinator(); coord != g.me {
 					enc := encodeMessage(&suspectMsg{Group: g.id, Accused: q})
-					_ = g.node.ep.Send(coord, enc)
+					g.sendLocked(coord, enc)
 				}
 			}
 		}
@@ -167,11 +167,12 @@ func (g *Group) resendLocked(now time.Time) {
 		for seq := known + 1; seq <= end; seq++ {
 			DebugCounters.Resend.Add(1)
 			g.stats.Resent++
+			g.metrics.resent.Inc()
 			m, ok := g.store[ids.MsgID{Sender: g.me, Seq: seq}]
 			if !ok {
 				continue
 			}
-			_ = g.node.ep.Send(q, encodeMessage(m))
+			g.sendLocked(q, encodeMessage(m))
 		}
 	}
 }

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the observability domain over HTTP:
+//
+//	GET /metrics          snapshot of every instrument, text format
+//	GET /traces?n=16      span trees of the n most recent traces
+//
+// newtop-node mounts this behind its -metrics flag.
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.Reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.Tracer.WriteText(w, n)
+	})
+	return mux
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerMetricsAndTraces(t *testing.T) {
+	o := New()
+	o.Reg.Counter("transport_msgs_sent").Add(5)
+	o.Reg.Histogram("core_invoke_latency_first").Observe(700 * time.Microsecond)
+	o.Tracer.Record(Span{Trace: 0x42, Stage: "client.invoke", Proc: "c1", Start: time.Unix(10, 0), Dur: time.Millisecond})
+
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "transport_msgs_sent 5") ||
+		!strings.Contains(metrics, "core_invoke_latency_first_count 1") {
+		t.Fatalf("bad /metrics body:\n%s", metrics)
+	}
+
+	traces := get("/traces?n=4")
+	if !strings.Contains(traces, "trace 0000000000000042") || !strings.Contains(traces, "client.invoke") {
+		t.Fatalf("bad /traces body:\n%s", traces)
+	}
+}

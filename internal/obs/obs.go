@@ -1,0 +1,36 @@
+// Package obs is the observability layer of the NewTop reproduction: a
+// stdlib-only metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms with percentile snapshots) plus a per-invocation
+// tracer that reconstructs one group invocation as a tree of protocol
+// stage spans (client send → request manager receive → group multicast →
+// replica executions → reply collection).
+//
+// The paper's whole argument is quantitative — where latency is spent
+// decides between open and closed bindings, sequencer and symmetric
+// order, and the four reply modes — so every layer of the stack
+// (transport, gcs, core, orb, bench) registers named instruments here and
+// the node binary exports them over HTTP. Instruments are pre-resolved at
+// construction time: the hot paths touch only atomics, never the registry
+// map, and the transport send path performs no allocation.
+package obs
+
+// Obs bundles one process's (or one experiment's) registry and tracer.
+// Layers receive an *Obs at construction; passing nil is not supported —
+// use Default() for the process-wide instance or New() for an isolated
+// one (the bench harness isolates each experiment world this way).
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// New returns a fresh, independent observability domain.
+func New() *Obs {
+	return &Obs{Reg: NewRegistry(), Tracer: NewTracer(DefaultTraceCap)}
+}
+
+// defaultObs is the process-wide domain used by constructors that were not
+// handed an explicit one.
+var defaultObs = New()
+
+// Default returns the process-wide observability domain.
+func Default() *Obs { return defaultObs }

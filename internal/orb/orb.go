@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 	"newtop/internal/transport"
 	"newtop/internal/wire"
 )
@@ -69,6 +71,13 @@ type response struct {
 type ORB struct {
 	ep transport.Endpoint
 
+	// requests counts inbound invocations dispatched to servants;
+	// dispatch is the servant execution latency; inflightHigh is the
+	// high-water mark of outstanding outbound calls awaiting replies.
+	requests     *obs.Counter
+	dispatchLat  *obs.Histogram
+	inflightHigh *obs.Gauge
+
 	mu       sync.Mutex
 	servants map[string]Handler
 	calls    map[uint64]chan response
@@ -80,12 +89,20 @@ type ORB struct {
 }
 
 // New starts an ORB on ep. The ORB owns ep and closes it on Close.
-func New(ep transport.Endpoint) *ORB {
+// Instruments register in the process-wide observability domain; use
+// NewObs to direct them elsewhere.
+func New(ep transport.Endpoint) *ORB { return NewObs(ep, obs.Default()) }
+
+// NewObs is New with an explicit observability domain.
+func NewObs(ep transport.Endpoint, ob *obs.Obs) *ORB {
 	o := &ORB{
-		ep:       ep,
-		servants: make(map[string]Handler),
-		calls:    make(map[uint64]chan response),
-		recvDone: make(chan struct{}),
+		ep:           ep,
+		requests:     ob.Reg.Counter("orb_requests"),
+		dispatchLat:  ob.Reg.Histogram("orb_dispatch_latency"),
+		inflightHigh: ob.Reg.Gauge("orb_inflight_highwater"),
+		servants:     make(map[string]Handler),
+		calls:        make(map[uint64]chan response),
+		recvDone:     make(chan struct{}),
 	}
 	go o.recvLoop()
 	return o
@@ -122,6 +139,7 @@ func (o *ORB) Invoke(ctx context.Context, ref Ref, method string, args []byte) (
 	reqID := o.nextReq
 	ch := make(chan response, 1)
 	o.calls[reqID] = ch
+	o.inflightHigh.SetMax(int64(len(o.calls)))
 	o.mu.Unlock()
 
 	defer func() {
@@ -218,6 +236,7 @@ func (o *ORB) dispatch(in transport.Inbound) {
 		if closed {
 			return
 		}
+		o.requests.Inc()
 		o.wg.Add(1)
 		go func() {
 			defer o.wg.Done()
@@ -253,7 +272,9 @@ func (o *ORB) serve(from ids.ProcessID, kind byte, reqID uint64, object string, 
 	if h == nil {
 		err = fmt.Errorf("%w: %q", ErrNoObject, object)
 	} else {
+		start := time.Now()
 		payload, err = h(method, args)
+		o.dispatchLat.Observe(time.Since(start))
 	}
 	if kind == kindOneWay {
 		return

@@ -13,6 +13,7 @@ type FIFO[T any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	buf     []T
+	depth   func(int)
 	closed  bool
 	closeCh chan struct{}
 	out     chan T
@@ -40,7 +41,20 @@ func (f *FIFO[T]) Push(v T) {
 		return
 	}
 	f.buf = append(f.buf, v)
+	if f.depth != nil {
+		f.depth(len(f.buf))
+	}
 	f.cond.Signal()
+}
+
+// OnDepth installs a callback invoked with the buffered length after
+// every Push (under the FIFO's lock — keep it cheap and reentrancy-free).
+// The observability layer uses it to feed occupancy gauges; the queue
+// itself stays dependency-free.
+func (f *FIFO[T]) OnDepth(fn func(int)) {
+	f.mu.Lock()
+	f.depth = fn
+	f.mu.Unlock()
 }
 
 // Out returns the consumer channel; it is closed when the FIFO closes.

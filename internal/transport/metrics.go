@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"sync"
+
+	"newtop/internal/ids"
+	"newtop/internal/obs"
+)
+
+// linkStats is the per-peer slice of the transport counters. The fields
+// are plain atomics (not registry instruments) so a link can be created
+// with one small allocation the first time a peer is seen and read out by
+// the registry collector at snapshot time.
+type linkStats struct {
+	msgsSent, bytesSent obs.Counter
+	msgsRecv, bytesRecv obs.Counter
+}
+
+// netMetrics holds the transport layer's pre-resolved instruments. All
+// totals are resolved once at construction; the send path touches only
+// atomics plus one read-locked map lookup and allocates nothing.
+type netMetrics struct {
+	msgsSent, bytesSent *obs.Counter
+	msgsRecv, bytesRecv *obs.Counter
+	// sendDrops counts sends that failed because the endpoint (or the
+	// peer) was closed or unknown — messages the transport dropped.
+	sendDrops *obs.Counter
+
+	mu    sync.RWMutex
+	links map[ids.ProcessID]*linkStats
+}
+
+func newNetMetrics(o *obs.Obs, id ids.ProcessID) *netMetrics {
+	pfx := "transport_" + obs.Sanitize(string(id)) + "_"
+	m := &netMetrics{
+		msgsSent:  o.Reg.Counter(pfx + "msgs_sent"),
+		bytesSent: o.Reg.Counter(pfx + "bytes_sent"),
+		msgsRecv:  o.Reg.Counter(pfx + "msgs_recv"),
+		bytesRecv: o.Reg.Counter(pfx + "bytes_recv"),
+		sendDrops: o.Reg.Counter(pfx + "send_drops"),
+		links:     make(map[ids.ProcessID]*linkStats),
+	}
+	// Per-link totals surface as computed gauges at snapshot time, so the
+	// hot path never formats an instrument name.
+	o.Reg.SetCollector(pfx+"links", func(emit func(string, int64)) {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		for peer, ls := range m.links {
+			lp := pfx + "link_" + obs.Sanitize(string(peer)) + "_"
+			emit(lp+"msgs_sent", int64(ls.msgsSent.Value()))
+			emit(lp+"bytes_sent", int64(ls.bytesSent.Value()))
+			emit(lp+"msgs_recv", int64(ls.msgsRecv.Value()))
+			emit(lp+"bytes_recv", int64(ls.bytesRecv.Value()))
+		}
+	})
+	return m
+}
+
+// link returns the peer's stats slot, creating it on first contact. The
+// fast path is a read-locked map hit with no allocation.
+func (m *netMetrics) link(peer ids.ProcessID) *linkStats {
+	m.mu.RLock()
+	ls := m.links[peer]
+	m.mu.RUnlock()
+	if ls != nil {
+		return ls
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ls = m.links[peer]; ls == nil {
+		ls = &linkStats{}
+		m.links[peer] = ls
+	}
+	return ls
+}
+
+func (m *netMetrics) sent(peer ids.ProcessID, n int) {
+	if m == nil {
+		return
+	}
+	m.msgsSent.Inc()
+	m.bytesSent.Add(uint64(n))
+	ls := m.link(peer)
+	ls.msgsSent.Inc()
+	ls.bytesSent.Add(uint64(n))
+}
+
+func (m *netMetrics) received(peer ids.ProcessID, n int) {
+	if m == nil {
+		return
+	}
+	m.msgsRecv.Inc()
+	m.bytesRecv.Add(uint64(n))
+	ls := m.link(peer)
+	ls.msgsRecv.Inc()
+	ls.bytesRecv.Add(uint64(n))
+}
+
+func (m *netMetrics) dropped() {
+	if m == nil {
+		return
+	}
+	m.sendDrops.Inc()
+}

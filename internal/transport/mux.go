@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 )
 
 // Protocol channel identifiers carried in the first payload byte of every
@@ -18,7 +19,8 @@ const (
 // payload routes inbound messages. Messages for unregistered channels are
 // dropped.
 type Mux struct {
-	ep Endpoint
+	ep      Endpoint
+	metrics *netMetrics
 
 	mu     sync.Mutex
 	subs   map[byte]*muxChannel
@@ -27,12 +29,18 @@ type Mux struct {
 }
 
 // NewMux wraps ep and starts the demultiplexing pump. The caller must not
-// use ep directly afterwards.
-func NewMux(ep Endpoint) *Mux {
+// use ep directly afterwards. Instruments register in the process-wide
+// observability domain; use NewMuxObs to direct them elsewhere.
+func NewMux(ep Endpoint) *Mux { return NewMuxObs(ep, obs.Default()) }
+
+// NewMuxObs is NewMux with an explicit observability domain (the bench
+// harness gives each experiment world its own).
+func NewMuxObs(ep Endpoint, o *obs.Obs) *Mux {
 	m := &Mux{
-		ep:   ep,
-		subs: make(map[byte]*muxChannel),
-		done: make(chan struct{}),
+		ep:      ep,
+		metrics: newNetMetrics(o, ep.ID()),
+		subs:    make(map[byte]*muxChannel),
+		done:    make(chan struct{}),
 	}
 	go m.pump()
 	return m
@@ -84,6 +92,7 @@ func (m *Mux) pump() {
 			continue
 		}
 		proto := in.Payload[0]
+		m.metrics.received(in.From, len(in.Payload))
 		m.mu.Lock()
 		sub := m.subs[proto]
 		m.mu.Unlock()
@@ -109,7 +118,13 @@ func (c *muxChannel) Send(to ids.ProcessID, payload []byte) error {
 	framed := make([]byte, 1+len(payload))
 	framed[0] = c.proto
 	copy(framed[1:], payload)
-	return c.mux.ep.Send(to, framed)
+	err := c.mux.ep.Send(to, framed)
+	if err != nil {
+		c.mux.metrics.dropped()
+		return err
+	}
+	c.mux.metrics.sent(to, len(framed))
+	return nil
 }
 
 func (c *muxChannel) Inbound() <-chan Inbound { return c.fifo.Out() }
