@@ -1,12 +1,16 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging.
 #
-#   ./ci.sh          # vet, build, tests, then the same tests under -race
+#   ./ci.sh              # vet, lint, build, tests, then the same tests under -race
+#   CI_SHORT=1 ./ci.sh   # skip the race pass (quick pre-push loop)
 #
 # The race pass is the slow half; it exists because every layer of this
 # stack is concurrent (transport pumps, gcs event loops, per-request ORB
 # goroutines, the metrics registry) and plain tests will happily miss an
-# unsynchronised counter.
+# unsynchronised counter. newtop-lint is the protocol-aware static pass:
+# wire encode/decode symmetry, no blocking under event-loop mutexes, no
+# wall clock in ordering decisions, no orphaned goroutines, no silently
+# dropped send errors (see README "Static analysis").
 set -eu
 
 cd "$(dirname "$0")"
@@ -14,13 +18,20 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== newtop-lint =="
+go run ./cmd/newtop-lint ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
 go test ./...
 
-echo "== go test -race =="
-go test -race ./...
+if [ "${CI_SHORT:-0}" = "1" ]; then
+	echo "ci: CI_SHORT=1, skipping the race pass"
+else
+	echo "== go test -race =="
+	go test -race ./...
+fi
 
 echo "ci: all checks passed"

@@ -1,0 +1,102 @@
+// Command newtop-lint runs the protocol-aware static analysis suite over
+// the module: wiresym (wire envelope encode/decode symmetry), lockblock
+// (no blocking operations under event-loop mutexes), detclock (no wall
+// clock or randomness in protocol decisions), goorphan (every unbounded
+// goroutine has a stop signal) and errdrop (send-path errors dropped only
+// with an annotated reason). It is a ci.sh stage: any finding that is not
+// suppressed with an inline `//lint:ok <rule> <reason>` directive fails
+// the build.
+//
+// Usage:
+//
+//	newtop-lint [-rules wiresym,errdrop] [packages]
+//
+// Packages default to ./... and support the go tool's /... suffix. The
+// engine is stdlib-only (go/parser + go/types + go/importer): the first
+// run type-checks the standard library from source, so it takes a few
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"newtop/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Parse()
+
+	analyzers, err := lint.AnalyzersNamed(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ld, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	paths, err := ld.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 2
+			continue
+		}
+		var scoped []*lint.Analyzer
+		for _, a := range analyzers {
+			if a.Applies == nil || a.Applies(path) {
+				scoped = append(scoped, a)
+			}
+		}
+		if len(scoped) == 0 {
+			continue
+		}
+		for _, d := range lint.Check([]*lint.Package{pkg}, scoped) {
+			fmt.Println(relPos(wd, d))
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// relPos renders a diagnostic with its filename relative to the working
+// directory, the format editors and CI logs expect.
+func relPos(wd string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

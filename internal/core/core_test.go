@@ -10,6 +10,7 @@ import (
 	"newtop/internal/core"
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/lint/leakcheck"
 	"newtop/internal/netsim"
 	"newtop/internal/transport/memnet"
 )
@@ -39,6 +40,9 @@ type world struct {
 
 func newWorld(t *testing.T, nServers, nClients int) *world {
 	t.Helper()
+	// Registered before the service-closing cleanup, so it runs after it
+	// (cleanups are LIFO): Close must reap every pump the services started.
+	leakcheck.Check(t)
 	w := &world{
 		t:     t,
 		net:   memnet.New(netsim.New(netsim.FastProfile(), 42)),

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"newtop/internal/ids"
+	"newtop/internal/wire/wiretest"
 )
 
 func callIDSeed() ids.CallID { return ids.CallID{Client: "c", Number: 7} }
@@ -16,6 +17,28 @@ func FuzzDecodePayload(f *testing.F) {
 	f.Add(encodeReplySet(&invReplySet{Call: callIDSeed()}))
 	f.Add(encodeHello())
 	f.Add([]byte{})
+
+	// Fully-populated envelopes, so mutation starts from inputs where
+	// every field is present and non-zero: fuzzing from sparse seeds
+	// tends to never flip the later fields' presence/length bytes.
+	fullReq := &invRequest{}
+	wiretest.Fill(fullReq)
+	f.Add(encodeRequest(fullReq))
+	var fullRep invReply
+	wiretest.Fill(&fullRep)
+	f.Add(encodeReply(fullRep))
+	fullSet := &invReplySet{}
+	wiretest.Fill(fullSet)
+	f.Add(encodeReplySet(fullSet))
+	fullBind := &bindRequest{}
+	wiretest.Fill(fullBind, bindLocalFields...)
+	f.Add(encodeBindRequest(fullBind))
+	fullSnap := &stateSnapshot{}
+	wiretest.Fill(fullSnap)
+	f.Add(encodeStateSnapshot(fullSnap))
+	fullRef := GroupRef{}
+	wiretest.Fill(&fullRef)
+	f.Add(fullRef.Encode())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = decodePayload(data)

@@ -154,7 +154,7 @@ func (s *Service) serve(ctx context.Context, cfg ServeConfig, replica bool) (*Se
 	go srv.groupLoop(replica, ready)
 	// Announce ourselves so the existing members add us to the server
 	// roster (and, via their re-announcements, we learn them).
-	_ = group.Multicast(ctx, encodeHello())
+	_ = group.Multicast(ctx, encodeHello()) //lint:ok errdrop best-effort: roster repair re-announces on every membership change
 	if replica {
 		select {
 		case err := <-ready:
@@ -293,7 +293,7 @@ func (srv *Server) serveForwarded(req *invRequest, stamp vclock.Stamp) {
 		return
 	}
 	_ = fresh // a retried call re-multicasts the retained reply (§4.1)
-	_ = srv.group.Multicast(context.Background(), encodeReply(rep))
+	_ = srv.group.Multicast(context.Background(), encodeReply(rep)) //lint:ok errdrop best-effort: the client retries and gets the retained reply
 }
 
 // executeOnce runs the handler for a call exactly once; retries get the
@@ -384,7 +384,7 @@ func (srv *Server) onGroupView(v *gcs.View) {
 	srv.mu.Unlock()
 
 	if grew && !closed {
-		_ = srv.group.Multicast(context.Background(), encodeHello())
+		_ = srv.group.Multicast(context.Background(), encodeHello()) //lint:ok errdrop best-effort: roster repair re-announces on every membership change
 	}
 	for _, c := range cs {
 		c.recheck(srv.need(c.mode))
@@ -552,7 +552,7 @@ func (srv *Server) serveAsRM(b *gcs.Group, bind *bindRequest, req *invRequest) {
 		if req.Mode != OneWay {
 			resend := *set
 			resend.Trace = req.Trace
-			_ = b.Multicast(context.Background(), encodeReplySet(&resend))
+			_ = b.Multicast(context.Background(), encodeReplySet(&resend)) //lint:ok errdrop best-effort: a lost resend just triggers another client retry
 		}
 		return
 	}
@@ -569,7 +569,7 @@ func (srv *Server) serveAsRM(b *gcs.Group, bind *bindRequest, req *invRequest) {
 		fwd := *req
 		fwd.Forwarded = true
 		srv.svc.metrics.rmRelays.Inc()
-		_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd))
+		_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd)) //lint:ok errdrop best-effort: one-way semantics promise no delivery guarantee to the caller
 		return
 	}
 	// Stay audible in the client/server group while serving: the waiting
@@ -663,7 +663,8 @@ func (srv *Server) serveAsyncForward(b *gcs.Group, req *invRequest) {
 	set := &invReplySet{Call: req.Call, Replies: []invReply{rep}, Trace: req.Trace}
 	srv.storeSet(set)
 	replyStart := time.Now()
-	_ = b.Multicast(context.Background(), encodeReplySet(set))
+	//lint:ok lockblock deliberate: both multicasts stay under execMu so backups see the primary's execution order (§4.2)
+	_ = b.Multicast(context.Background(), encodeReplySet(set)) //lint:ok errdrop best-effort: the client retries and gets the retained reply set
 	srv.recordRMSpan(req.Trace, "rm.reply", replyStart, "async-forward")
 	if fresh {
 		fwd := *req
@@ -671,7 +672,8 @@ func (srv *Server) serveAsyncForward(b *gcs.Group, req *invRequest) {
 		fwd.AsyncFwd = true
 		srv.svc.metrics.rmRelays.Inc()
 		fwdStart := time.Now()
-		_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd))
+		//lint:ok lockblock deliberate: both multicasts stay under execMu so backups see the primary's execution order (§4.2)
+		_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd)) //lint:ok errdrop best-effort: backups only lose a state refresh, the reply already left
 		srv.recordRMSpan(req.Trace, "rm.forward", fwdStart, "one-way")
 	}
 	srv.execMu.Unlock()
@@ -714,7 +716,7 @@ func (srv *Server) serveCollected(b *gcs.Group, req *invRequest) {
 	srv.group.Attend()
 	srv.svc.metrics.rmRelays.Inc()
 	fwdStart := time.Now()
-	_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd))
+	_ = srv.group.Multicast(context.Background(), encodeRequest(&fwd)) //lint:ok errdrop best-effort: the collector times out and aggregates whatever replies arrive
 	srv.recordRMSpan(req.Trace, "rm.forward", fwdStart, "server-group multicast")
 
 	srv.wg.Add(1)
@@ -731,7 +733,7 @@ func (srv *Server) serveCollected(b *gcs.Group, req *invRequest) {
 		set.Trace = req.Trace
 		srv.storeSet(set)
 		replyStart := time.Now()
-		_ = b.Multicast(context.Background(), encodeReplySet(set))
+		_ = b.Multicast(context.Background(), encodeReplySet(set)) //lint:ok errdrop best-effort: the client retries and gets the retained reply set
 		srv.recordRMSpan(req.Trace, "rm.reply", replyStart, "client-group multicast")
 	}()
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/wire/wiretest"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -108,6 +110,115 @@ func TestBindRequestRoundTrip(t *testing.T) {
 	if *got != *req {
 		t.Fatalf("mismatch:\n%+v\n%+v", got, req)
 	}
+}
+
+// bindLocalFields are bindRequest.Config fields that deliberately do not
+// cross the wire: Domain is a node-local delivery-domain name and
+// ProcessingCost a node-local simulation knob (see encodeBindRequest).
+var bindLocalFields = []string{"Config.Domain", "Config.ProcessingCost"}
+
+// TestReflectionRoundTrips fills every exported field of each invocation
+// envelope with a distinct non-zero value and round-trips it. Unlike the
+// hand-written tests above, these fail automatically when someone adds a
+// field to a struct and misses the encoder or the decoder — the runtime
+// twin of the wiresym lint rule.
+func TestReflectionRoundTrips(t *testing.T) {
+	t.Run("request", func(t *testing.T) {
+		req := &invRequest{}
+		wiretest.Fill(req)
+		if z := wiretest.Unfilled(req); len(z) != 0 {
+			t.Fatalf("filler left fields zero (extend wiretest.Fill): %v", z)
+		}
+		msg, err := decodePayload(encodeRequest(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := msg.(*invRequest)
+		if !ok {
+			t.Fatalf("decoded as %T", msg)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("encode/decode asymmetry:\n%s", wiretest.Diff(*req, *got))
+		}
+	})
+	t.Run("reply", func(t *testing.T) {
+		var rep invReply
+		wiretest.Fill(&rep)
+		if z := wiretest.Unfilled(&rep); len(z) != 0 {
+			t.Fatalf("filler left fields zero: %v", z)
+		}
+		msg, err := decodePayload(encodeReply(rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := msg.(*invReply)
+		if !ok {
+			t.Fatalf("decoded as %T", msg)
+		}
+		if !reflect.DeepEqual(*got, rep) {
+			t.Fatalf("encode/decode asymmetry:\n%s", wiretest.Diff(rep, *got))
+		}
+	})
+	t.Run("replyset", func(t *testing.T) {
+		set := &invReplySet{}
+		wiretest.Fill(set)
+		if z := wiretest.Unfilled(set); len(z) != 0 {
+			t.Fatalf("filler left fields zero: %v", z)
+		}
+		msg, err := decodePayload(encodeReplySet(set))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := msg.(*invReplySet)
+		if !ok {
+			t.Fatalf("decoded as %T", msg)
+		}
+		if !reflect.DeepEqual(got, set) {
+			t.Fatalf("encode/decode asymmetry:\n%s", wiretest.Diff(*set, *got))
+		}
+	})
+	t.Run("bind", func(t *testing.T) {
+		req := &bindRequest{}
+		wiretest.Fill(req, bindLocalFields...)
+		if z := wiretest.Unfilled(req, bindLocalFields...); len(z) != 0 {
+			t.Fatalf("filler left fields zero: %v", z)
+		}
+		got, err := decodeBindRequest(encodeBindRequest(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("encode/decode asymmetry:\n%s", wiretest.Diff(*req, *got))
+		}
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		snap := &stateSnapshot{}
+		wiretest.Fill(snap)
+		if z := wiretest.Unfilled(snap); len(z) != 0 {
+			t.Fatalf("filler left fields zero: %v", z)
+		}
+		got, err := decodeStateSnapshot(encodeStateSnapshot(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, snap) {
+			t.Fatalf("encode/decode asymmetry:\n%s", wiretest.Diff(*snap, *got))
+		}
+	})
+	t.Run("groupref", func(t *testing.T) {
+		ref := GroupRef{}
+		wiretest.Fill(&ref)
+		if z := wiretest.Unfilled(&ref); len(z) != 0 {
+			t.Fatalf("filler left fields zero: %v", z)
+		}
+		got, err := DecodeGroupRef(ref.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("encode/decode asymmetry:\n%s", wiretest.Diff(ref, got))
+		}
+	})
 }
 
 func TestPayloadDecodeGarbageNeverPanics(t *testing.T) {

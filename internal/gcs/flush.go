@@ -120,7 +120,7 @@ func (g *Group) maybeStartFlushLocked() {
 		seq:       newSeq,
 		members:   target,
 		acks:      make(map[ids.ProcessID]*flushAckMsg, len(target)),
-		startedAt: time.Now(),
+		startedAt: time.Now(), //lint:ok detclock observability: view-change latency timer, no ordering decision
 	}
 	g.state = stateFlushing
 	g.curProposal = prop
@@ -199,9 +199,9 @@ func (g *Group) handlePropose(p *proposeMsg) {
 	if g.fl != nil && (p.NewSeq > g.fl.seq || (p.NewSeq == g.fl.seq && p.Proposer.Less(g.me))) {
 		g.fl = nil
 	}
-	g.lastHeard[p.Proposer] = time.Now()
+	g.lastHeard[p.Proposer] = time.Now() //lint:ok detclock failure-detector liveness bookkeeping
 	g.curProposal = p
-	g.proposalAt = time.Now()
+	g.proposalAt = time.Now() //lint:ok detclock liveness: flush-timeout arming and view-change latency observation
 	if g.state == stateNormal {
 		g.state = stateFlushing
 	}
@@ -222,7 +222,7 @@ func (g *Group) handleFlushAck(a *flushAckMsg) {
 	if !ids.ContainsProcess(g.fl.members, a.From) {
 		return
 	}
-	g.lastHeard[a.From] = time.Now()
+	g.lastHeard[a.From] = time.Now() //lint:ok detclock failure-detector liveness bookkeeping
 	g.acceptFlushAckLocked(a)
 }
 
@@ -308,7 +308,7 @@ func (g *Group) handleCommit(c *commitMsg) {
 	} else if c.NewSeq <= g.view.Seq {
 		return
 	}
-	g.lastHeard[c.Proposer] = time.Now()
+	g.lastHeard[c.Proposer] = time.Now() //lint:ok detclock failure-detector liveness bookkeeping
 	g.applyCommitLocked(c)
 }
 

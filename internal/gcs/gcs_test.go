@@ -8,6 +8,7 @@ import (
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/lint/leakcheck"
 	"newtop/internal/netsim"
 	"newtop/internal/transport/memnet"
 )
@@ -21,6 +22,9 @@ type harness struct {
 
 func newHarness(t *testing.T, n int) *harness {
 	t.Helper()
+	// Registered before the node-closing cleanup, so it runs after it
+	// (cleanups are LIFO): Close must reap every pump the nodes started.
+	leakcheck.Check(t)
 	h := &harness{t: t, net: memnet.New(netsim.New(netsim.FastProfile(), 1))}
 	for i := 0; i < n; i++ {
 		id := ids.ProcessID(fmt.Sprintf("n%02d", i))

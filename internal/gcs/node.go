@@ -118,7 +118,7 @@ func (n *Node) Join(ctx context.Context, id ids.GroupID, contact ids.ProcessID, 
 		retry = 50 * time.Millisecond
 	}
 	for {
-		_ = n.ep.Send(contact, join)
+		_ = n.ep.Send(contact, join) //lint:ok errdrop best-effort: this loop resends the join until accepted or the context ends
 
 		deadline := time.NewTimer(retry)
 		select {
@@ -138,6 +138,11 @@ func (n *Node) Join(ctx context.Context, id ids.GroupID, contact ids.ProcessID, 
 			err := g.joinErr
 			g.mu.Unlock()
 			n.dropGroup(id)
+			// Full teardown, as in abandonJoin: a rejected join (config
+			// mismatch, remote shutdown) must also reap the ticker and
+			// the events pump, or every failed join leaks a goroutine.
+			<-g.tickDone
+			g.events.Close()
 			if err == nil {
 				err = ErrLeft
 			}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DetClock forbids wall-clock and randomness in protocol-decision code.
+// The ordering protocols (symmetric Lamport merge, sequencer assignment),
+// view agreement and duplicate filtering must be functions of message
+// history alone: a time.Now() or math/rand in a decision path makes runs
+// non-deterministic, breaks netsim replay, and can diverge replicas. All
+// timer-driven machinery is confined to tick.go (the allowlisted file);
+// the remaining legitimate uses — failure-detector bookkeeping
+// (lastHeard), time-silence pacing (lastSentAt) and observability
+// timestamps (bornAt, span starts) — carry an explicit
+// //lint:ok detclock annotation naming which of those they are.
+func DetClock() *Analyzer {
+	return &Analyzer{
+		Name:    "detclock",
+		Doc:     "no wall clock or math/rand in protocol-decision code",
+		Applies: pathIn("internal/gcs", "internal/vclock"),
+		Run:     runDetClock,
+	}
+}
+
+// detclockAllowFiles are file basenames exempt from the rule: the tick
+// layer is exactly where wall-clock time is supposed to live.
+var detclockAllowFiles = map[string]bool{
+	"tick.go": true,
+}
+
+// forbidden time package functions (time.Time arithmetic on received
+// values is fine; *sampling* the clock is not).
+var detclockTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetClock(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if detclockAllowFiles[base] {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				diags = append(diags, Diagnostic{
+					Rule: "detclock",
+					Pos:  p.Fset.Position(imp.Pos()),
+					Msg:  fmt.Sprintf("import of %s in protocol code (randomness breaks deterministic replay)", path),
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if detclockTimeFuncs[obj.Name()] {
+					diags = append(diags, Diagnostic{
+						Rule: "detclock",
+						Pos:  p.Fset.Position(id.Pos()),
+						Msg: fmt.Sprintf("time.%s in protocol code (wall clock makes ordering decisions non-replayable; move to tick.go or annotate the liveness/obs use)",
+							obj.Name()),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(obj.Name(), "_") {
+					diags = append(diags, Diagnostic{
+						Rule: "detclock",
+						Pos:  p.Fset.Position(id.Pos()),
+						Msg:  fmt.Sprintf("%s.%s in protocol code (randomness breaks deterministic replay)", obj.Pkg().Path(), obj.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoOrphan flags `go` statements that spawn an unstoppable goroutine: one
+// whose body (followed through same-package static calls) contains an
+// unconditional `for` loop but no stop signal — no channel receive or
+// select, no range over a channel, no context.Context, and no
+// sync.WaitGroup accounting. Every pump in this codebase (transport
+// receive loops, gcs tick loops, ORB collectors) must be reapable by
+// Stop/Close, or netsim worlds and long-running nodes leak goroutines;
+// the leakcheck test helper is the runtime twin of this rule.
+//
+// Goroutines that run bounded work and exit are fine without a stop
+// signal; the rule only fires when an infinite loop is reachable.
+func GoOrphan() *Analyzer {
+	return &Analyzer{
+		Name:    "goorphan",
+		Doc:     "every spawned goroutine with an unbounded loop needs a stop signal",
+		Applies: internalOnly,
+		Run:     runGoOrphan,
+	}
+}
+
+func runGoOrphan(p *Package) []Diagnostic {
+	// Index same-package function declarations for call following.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if fn := calleeOf(p.Info, gs.Call); fn != nil {
+					if fd := decls[fn]; fd != nil {
+						body = fd.Body
+					}
+				}
+			}
+			if body == nil {
+				return true // dynamic or cross-package target: not analyzable
+			}
+			g := &orphanScan{p: p, decls: decls, seen: map[*ast.BlockStmt]bool{}}
+			g.scan(body)
+			if g.infiniteLoop && !g.stopSignal {
+				diags = append(diags, Diagnostic{
+					Rule: "goorphan",
+					Pos:  p.Fset.Position(gs.Pos()),
+					Msg:  "goroutine loops forever with no stop signal (no channel receive/select, context, or WaitGroup in reach); Stop/Close cannot reap it",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// orphanScan accumulates loop/stop evidence over a goroutine body and the
+// same-package functions it calls.
+type orphanScan struct {
+	p     *Package
+	decls map[*types.Func]*ast.FuncDecl
+	seen  map[*ast.BlockStmt]bool
+
+	infiniteLoop bool
+	stopSignal   bool
+}
+
+func (g *orphanScan) scan(body *ast.BlockStmt) {
+	if g.seen[body] {
+		return
+	}
+	g.seen[body] = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ForStmt:
+			if node.Cond == nil {
+				g.infiniteLoop = true
+			}
+		case *ast.SelectStmt:
+			g.stopSignal = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				g.stopSignal = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := g.p.Info.Types[node.X]; ok && isChan(tv.Type) {
+				g.stopSignal = true
+			}
+		case *ast.Ident:
+			if obj := g.p.Info.Uses[node]; obj != nil {
+				if isNamedType(obj.Type(), "context", "Context") {
+					g.stopSignal = true
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(g.p.Info, node)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				if rt := recvTypeOf(fn); rt != nil && isNamedType(rt, "sync", "WaitGroup") {
+					g.stopSignal = true
+				}
+			}
+			if fn.Pkg() == g.p.Types {
+				if fd := g.decls[fn]; fd != nil {
+					g.scan(fd.Body)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,104 @@
+// Package leakcheck verifies that a test leaves no goroutines of ours
+// behind. It is the runtime twin of the goorphan lint rule: the analyzer
+// proves every pump has a stop signal, this helper proves Stop/Close
+// actually pulled it.
+//
+// Usage, first line of a lifecycle test:
+//
+//	leakcheck.Check(t)
+//
+// Check snapshots the running goroutines and registers a cleanup that
+// fails the test if, after a grace period, goroutines started during the
+// test are still running module code. Only goroutines with a newtop/
+// frame count: runtime, testing and timer internals come and go on their
+// own schedule and are not ours to reap.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long a cleanup waits for goroutines to drain before
+// declaring them leaked. Teardown is asynchronous in places (pumps notice
+// a closed channel on their next wakeup), so the check polls instead of
+// sampling once.
+const grace = 2 * time.Second
+
+// modulePrefix marks a stack frame as ours.
+const modulePrefix = "newtop/"
+
+// Check must be called before the test starts the code under test.
+func Check(t testing.TB) {
+	t.Helper()
+	base := goroutineIDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, s := range leaked {
+			t.Errorf("leaked goroutine:\n%s", s)
+		}
+	})
+}
+
+// snapshot returns the stacks of all current goroutines.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return strings.Split(string(buf[:n]), "\n\n")
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// goroutineID extracts the numeric ID from a stack's first line,
+// "goroutine 123 [running]:".
+func goroutineID(stack string) string {
+	header, _, _ := strings.Cut(stack, "\n")
+	fields := strings.Fields(header)
+	if len(fields) >= 2 && fields[0] == "goroutine" {
+		return fields[1]
+	}
+	return ""
+}
+
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, s := range snapshot() {
+		if id := goroutineID(s); id != "" {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+// leakedSince lists goroutines that did not exist at baseline and are
+// still running module code.
+func leakedSince(base map[string]bool) []string {
+	var leaked []string
+	for _, s := range snapshot() {
+		id := goroutineID(s)
+		if id == "" || base[id] {
+			continue
+		}
+		if !strings.Contains(s, modulePrefix) {
+			continue
+		}
+		if strings.Contains(s, "leakcheck.leakedSince") {
+			continue // the goroutine running this very check
+		}
+		leaked = append(leaked, s)
+	}
+	return leaked
+}

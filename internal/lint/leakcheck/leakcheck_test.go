@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls from a cleanup under test.
+type recorder struct {
+	testing.TB
+	errs     []string
+	cleanups []func()
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, format)
+	_ = args
+}
+
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckPassesWhenGoroutinesDrain(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	close(stop)
+	<-done
+	r.runCleanups()
+	if len(r.errs) != 0 {
+		t.Fatalf("drained goroutine reported as leaked: %v", r.errs)
+	}
+}
+
+func TestCheckReportsALeak(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r)
+	stop := make(chan struct{})
+	go leakyPump(stop)
+	r.runCleanups() // pump still parked on stop: must be reported
+	close(stop)
+	if len(r.errs) == 0 {
+		t.Fatal("parked module goroutine not reported as leaked")
+	}
+	for _, e := range r.errs {
+		if !strings.Contains(e, "leaked goroutine") {
+			t.Errorf("unexpected error format %q", e)
+		}
+	}
+}
+
+// leakyPump parks on stop from a frame inside the module, so the leak
+// filter (which keys on newtop/ frames) sees it.
+func leakyPump(stop <-chan struct{}) {
+	select {
+	case <-stop:
+	case <-time.After(time.Minute):
+	}
+}

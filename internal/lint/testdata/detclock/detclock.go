@@ -1,0 +1,37 @@
+// Package detclock is a lint fixture: wall clock and randomness leaking
+// into protocol-decision code, with tick.go as the allowlisted home for
+// timer machinery. Expectations live in the `// want` comments.
+package detclock
+
+import (
+	"math/rand" // want detclock "randomness breaks deterministic replay"
+	"time"
+)
+
+type proto struct {
+	lastHeard map[string]time.Time
+	deadline  time.Time
+}
+
+func (p *proto) decide(seed int64) bool {
+	return rand.Int63() > seed // want detclock "math/rand.Int63"
+}
+
+func (p *proto) stamp() {
+	p.deadline = time.Now() // want detclock "time.Now"
+}
+
+func (p *proto) idle(at time.Time) time.Duration {
+	return time.Since(at) // want detclock "time.Since"
+}
+
+// Arithmetic on received time values is fine; only sampling the clock is
+// forbidden.
+func (p *proto) expired(at time.Time) bool {
+	return at.Add(time.Second).Before(p.deadline)
+}
+
+// The escape hatch: annotated liveness bookkeeping.
+func (p *proto) heard(from string) {
+	p.lastHeard[from] = time.Now() //lint:ok detclock failure-detector liveness bookkeeping
+}

@@ -1,0 +1,13 @@
+package detclock
+
+import "time"
+
+// tick.go is the allowlisted timer layer: sampling the clock here is the
+// point, so none of these produce findings.
+func nowTick() time.Time {
+	return time.Now()
+}
+
+func sinceTick(at time.Time) time.Duration {
+	return time.Since(at)
+}

@@ -1,0 +1,13 @@
+// Package directive is a lint fixture: malformed //lint:ok directives are
+// themselves findings (under the "directive" rule), checked by a
+// dedicated test rather than `// want` comments.
+package directive
+
+//lint:ok
+func missingRuleAndReason() {}
+
+//lint:ok errdrop
+func missingReason() {}
+
+//lint:ok errdrop a well-formed directive that suppresses nothing is fine
+func wellFormed() {}

@@ -1,0 +1,39 @@
+// Package errdrop is a lint fixture: send-path error returns thrown away
+// in each of the shapes the analyzer recognises. Expectations live in the
+// `// want` comments.
+package errdrop
+
+import (
+	"context"
+	"fmt"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/transport"
+)
+
+func drops(ep transport.Endpoint, g *gcs.Group, to ids.ProcessID, msg []byte) {
+	ep.Send(to, msg)                          // want errdrop "ignored"
+	_ = ep.Send(to, msg)                      // want errdrop "discarded with _"
+	go g.Multicast(context.Background(), msg) // want errdrop "lost by go statement"
+	defer ep.Send(to, msg)                    // want errdrop "lost by defer"
+}
+
+// Handling or propagating the error is the expected shape.
+func handled(ep transport.Endpoint, to ids.ProcessID, msg []byte) error {
+	if err := ep.Send(to, msg); err != nil {
+		return err
+	}
+	err := ep.Send(to, msg)
+	return err
+}
+
+// Errors from functions off the send path may be dropped freely.
+func otherDrop() {
+	_ = fmt.Errorf("not a send path")
+}
+
+// The escape hatch: an annotated deliberate best-effort drop.
+func annotated(ep transport.Endpoint, to ids.ProcessID, msg []byte) {
+	_ = ep.Send(to, msg) //lint:ok errdrop best-effort fixture drop, resend recovers
+}

@@ -1,0 +1,98 @@
+// Package goorphan is a lint fixture: goroutines with unbounded loops and
+// the stop signals that make them reapable. Expectations live in the
+// `// want` comments.
+package goorphan
+
+import "context"
+
+type pump struct {
+	stop chan struct{}
+}
+
+func step() {}
+
+// An infinite loop with nothing to stop it: orphaned.
+func (p *pump) bad() {
+	go func() { // want goorphan "no stop signal"
+		for {
+			step()
+		}
+	}()
+}
+
+// Same orphan, spawned through a named same-package function.
+func (p *pump) badNamed() {
+	go p.spin() // want goorphan "no stop signal"
+}
+
+func (p *pump) spin() {
+	for {
+		step()
+	}
+}
+
+// The loop is reached transitively through a helper call.
+func (p *pump) badDeep() {
+	go func() { // want goorphan "no stop signal"
+		p.run()
+	}()
+}
+
+func (p *pump) run() {
+	for {
+		step()
+	}
+}
+
+// A select gives Stop/Close a way in: fine.
+func (p *pump) okSelect() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// Bounded work needs no stop signal.
+func (p *pump) okBounded() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			step()
+		}
+	}()
+}
+
+// Ranging over a channel ends when the channel closes: fine.
+func (p *pump) okRange(in chan int) {
+	go func() {
+		for range in {
+			step()
+		}
+	}()
+}
+
+// A context in scope counts as a stop signal.
+func (p *pump) okCtx(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			step()
+		}
+	}()
+}
+
+// The escape hatch: a process-lifetime pump, annotated.
+func (p *pump) suppressed() {
+	go func() { //lint:ok goorphan process-lifetime pump, reaped at exit
+		for {
+			step()
+		}
+	}()
+}

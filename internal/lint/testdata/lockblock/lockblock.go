@@ -1,0 +1,98 @@
+// Package lockblock is a lint fixture: blocking operations under a mutex,
+// the *Locked naming convention, and under-lock propagation through
+// helpers. Expectations live in the `// want` comments.
+package lockblock
+
+import (
+	"sync"
+	"time"
+)
+
+type loop struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	wake chan struct{}
+}
+
+func (l *loop) sleepHeld() {
+	l.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockblock "time.Sleep while l.mu is held"
+	l.mu.Unlock()
+	time.Sleep(time.Millisecond) // released before this point: no finding
+}
+
+func (l *loop) sendHeld() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wake <- struct{}{} // want lockblock "channel send"
+}
+
+func (l *loop) recvHeld() {
+	l.mu.Lock()
+	<-l.wake // want lockblock "channel receive"
+	l.mu.Unlock()
+}
+
+func (l *loop) selectHeld() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	select { // want lockblock "select without default"
+	case <-l.wake:
+	}
+}
+
+// A select with a default branch never parks the goroutine.
+func (l *loop) pollHeld() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	select {
+	case <-l.wake:
+	default:
+	}
+}
+
+func (l *loop) rangeHeld() {
+	l.mu.Lock()
+	for range l.wake { // want lockblock "range over channel"
+		break
+	}
+	l.mu.Unlock()
+}
+
+func (l *loop) condHeld() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cond.Wait() // want lockblock "sync.Cond.Wait"
+}
+
+// drainLocked is entered with the mutex held by naming convention.
+func (l *loop) drainLocked() {
+	time.Sleep(time.Millisecond) // want lockblock "the caller's mutex"
+}
+
+// helper inherits the under-lock property from its *Locked caller.
+func (l *loop) pumpLocked() {
+	l.helper()
+}
+
+func (l *loop) helper() {
+	time.Sleep(time.Millisecond) // want lockblock "can run with a mutex held"
+}
+
+// A spawned goroutine does not inherit the spawner's locks.
+func (l *loop) spawn() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go l.sleeper()
+}
+
+func (l *loop) sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+// The escape hatch: an annotated deliberate block under the lock.
+func (l *loop) paced() {
+	l.mu.Lock()
+	time.Sleep(time.Millisecond) //lint:ok lockblock fixture: simulated processing cost, deliberate
+	l.mu.Unlock()
+}

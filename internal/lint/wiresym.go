@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// WireSym checks encode/decode symmetry of wire envelopes. Every message
+// struct in this codebase is marshalled by hand through the
+// internal/wire Writer/Reader pair; the classic failure is adding a field
+// to the struct and the encoder but forgetting the decoder (or vice
+// versa), which silently desynchronises replicas instead of failing. The
+// analyzer finds, per package, the struct types whose fields are touched
+// by both an encode-path function (one that takes a *wire.Writer or calls
+// wire.NewWriter) and a decode-path function (*wire.Reader /
+// wire.NewReader), and requires every exported field of such a struct to
+// appear on both paths. Unexported fields are exempt: by repo convention
+// they never cross the wire (dataMsg.bornAt).
+func WireSym() *Analyzer {
+	return &Analyzer{
+		Name:    "wiresym",
+		Doc:     "wire envelope structs must encode and decode every exported field",
+		Applies: internalOnly,
+		Run:     runWireSym,
+	}
+}
+
+const wirePkgSuffix = "internal/wire"
+
+func runWireSym(p *Package) []Diagnostic {
+	encoded := make(map[*types.Var]bool) // struct fields read on an encode path
+	decoded := make(map[*types.Var]bool) // struct fields written on a decode path
+
+	// ownField maps a field object to its defining named struct type when
+	// that struct is declared in this package.
+	localStructs := localStructTypes(p)
+	ownField := make(map[*types.Var]*types.Named)
+	for _, named := range localStructs {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			ownField[st.Field(i)] = named
+		}
+	}
+	if len(ownField) == 0 {
+		return nil
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enc, dec := codecRole(p, fd)
+			if !enc && !dec {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.SelectorExpr:
+					sel, ok := p.Info.Selections[node]
+					if !ok || sel.Kind() != types.FieldVal {
+						return true
+					}
+					field, ok := sel.Obj().(*types.Var)
+					if !ok || ownField[field] == nil {
+						return true
+					}
+					if enc {
+						encoded[field] = true
+					}
+					// Writes are classified at the AssignStmt below; a bare
+					// selector in a decoder is a read (length checks etc.)
+					// and does not mark the field as decoded.
+				case *ast.AssignStmt:
+					if !dec {
+						return true
+					}
+					for _, lhs := range node.Lhs {
+						markFieldWrite(p, lhs, ownField, decoded)
+					}
+				case *ast.CompositeLit:
+					if !dec {
+						return true
+					}
+					markCompositeLit(p, node, ownField, decoded)
+				}
+				return true
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	for _, named := range localStructs {
+		st := named.Underlying().(*types.Struct)
+		anyEnc, anyDec := false, false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			anyEnc = anyEnc || encoded[f]
+			anyDec = anyDec || decoded[f]
+		}
+		if !anyEnc || !anyDec {
+			continue // not a wire-marshalled struct in this package
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			switch {
+			case encoded[f] && !decoded[f]:
+				diags = append(diags, Diagnostic{
+					Rule: "wiresym",
+					Pos:  p.Fset.Position(f.Pos()),
+					Msg: fmt.Sprintf("field %s.%s is encoded but never decoded (decoder out of sync with the wire format)",
+						named.Obj().Name(), f.Name()),
+				})
+			case decoded[f] && !encoded[f]:
+				diags = append(diags, Diagnostic{
+					Rule: "wiresym",
+					Pos:  p.Fset.Position(f.Pos()),
+					Msg: fmt.Sprintf("field %s.%s is decoded but never encoded (encoder out of sync with the wire format)",
+						named.Obj().Name(), f.Name()),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// localStructTypes lists the named struct types declared in the package,
+// in declaration order.
+func localStructTypes(p *Package) []*types.Named {
+	var out []*types.Named
+	scope := p.Types.Scope()
+	type posNamed struct {
+		pos   token.Pos
+		named *types.Named
+	}
+	var tmp []posNamed
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		tmp = append(tmp, posNamed{tn.Pos(), named})
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].pos < tmp[j].pos })
+	for _, t := range tmp {
+		out = append(out, t.named)
+	}
+	return out
+}
+
+// codecRole classifies a function as encode-path and/or decode-path.
+func codecRole(p *Package, fd *ast.FuncDecl) (enc, dec bool) {
+	check := func(t types.Type) {
+		if isNamedType(t, wirePkgSuffix, "Writer") {
+			enc = true
+		}
+		if isNamedType(t, wirePkgSuffix, "Reader") {
+			dec = true
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			if tv, ok := p.Info.Types[f.Type]; ok {
+				check(tv.Type)
+			}
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		if tv, ok := p.Info.Types[f.Type]; ok {
+			check(tv.Type)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeOf(p.Info, call); fn != nil && fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), wirePkgSuffix) {
+			switch fn.Name() {
+			case "NewWriter":
+				enc = true
+			case "NewReader":
+				dec = true
+			}
+		}
+		return true
+	})
+	return enc, dec
+}
+
+// markFieldWrite records a decode-path write through a field selector.
+// Nested selectors count at every level: `m.Config.Order = ...` populates
+// both Order and the local Config field it is reached through.
+func markFieldWrite(p *Package, lhs ast.Expr, ownField map[*types.Var]*types.Named, decoded map[*types.Var]bool) {
+	for {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if field, ok := s.Obj().(*types.Var); ok && ownField[field] != nil {
+				decoded[field] = true
+			}
+		}
+		lhs = sel.X
+	}
+}
+
+// markCompositeLit records decode-path writes made by a struct literal of
+// a local struct type: keyed elements mark their named field, positional
+// literals mark every field.
+func markCompositeLit(p *Package, lit *ast.CompositeLit, ownField map[*types.Var]*types.Named, decoded map[*types.Var]bool) {
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named := namedOrigin(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg() != p.Types {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		return
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj, ok := p.Info.Uses[key].(*types.Var); ok && ownField[obj] != nil {
+				decoded[obj] = true
+			}
+		}
+	}
+	if !keyed {
+		// Positional literal: every field is populated.
+		for i := 0; i < st.NumFields(); i++ {
+			if ownField[st.Field(i)] != nil {
+				decoded[st.Field(i)] = true
+			}
+		}
+	}
+}

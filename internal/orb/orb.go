@@ -291,5 +291,5 @@ func (o *ORB) serve(from ids.ProcessID, kind byte, reqID uint64, object string, 
 		w.Blob(payload)
 		w.String("")
 	}
-	_ = o.ep.Send(from, w.Bytes())
+	_ = o.ep.Send(from, w.Bytes()) //lint:ok errdrop best-effort: a lost reply looks like a lost request, and the client retries
 }

@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"math"
 	"testing"
 
 	"newtop/internal/wire"
@@ -18,6 +19,22 @@ func FuzzReader(f *testing.F) {
 	f.Add(w.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	// A seed shaped for the harness below — each tag byte selects the
+	// next primitive, so this input walks every decode path with extreme
+	// values (max/min varints, empty blob, multi-byte UTF-8, bool).
+	ops := wire.NewWriter()
+	ops.Byte(0)
+	ops.Uvarint(math.MaxUint64)
+	ops.Byte(1)
+	ops.Varint(math.MinInt64)
+	ops.Byte(2)
+	ops.Blob(nil)
+	ops.Byte(3)
+	ops.String("héllo, wörld")
+	ops.Byte(4)
+	ops.Bool(true)
+	f.Add(ops.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := wire.NewReader(data)
