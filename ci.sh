@@ -34,4 +34,10 @@ else
 	go test -race ./...
 fi
 
+# Smoke the pipelined invocation path end to end: the async window plus
+# sender-side batching must beat the serial loop (the table prints the
+# measured speedup; the acceptance floor is 2x on the LAN placement).
+echo "== pipeline smoke =="
+go run ./cmd/newtop-bench -experiment pipeline -quick
+
 echo "ci: all checks passed"

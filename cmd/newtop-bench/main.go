@@ -9,7 +9,12 @@
 //
 // Experiment identifiers (see DESIGN.md §4): table1, graphs1-2, graphs3-4,
 // graphs5-6, graphs7-8, graphs9-10, graphs11-12, graphs13-14, graphs15-16,
-// graph17, graph18, peer-lan, closed-symmetric.
+// graph17, graph18, peer-lan, closed-symmetric, pipeline.
+//
+// The pipeline experiment goes beyond the paper: it compares the serial
+// blocking client loop (the paper's workload) against a windowed
+// InvokeAsync pipeline with sender-side multicast batching enabled
+// (DESIGN.md §9).
 package main
 
 import (

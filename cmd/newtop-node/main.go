@@ -65,6 +65,7 @@ func run(args []string) error {
 		mode    = fs.String("mode", "first", "reply mode: oneway|first|majority|all (invoke)")
 		style   = fs.String("style", "open", "binding style: open|closed (invoke)")
 		order   = fs.String("order", "sequencer", "ordering: sequencer|symmetric|causal")
+		batch   = fs.Bool("batch", false, "coalesce same-tick multicasts into batch envelopes (sender-local)")
 		timeout = fs.Duration("timeout", 30*time.Second, "operation deadline")
 		metrics = fs.String("metrics", "", "address to serve /metrics and /traces on (serve)")
 		statsEv = fs.Duration("stats", 10*time.Second, "interval between stats lines (serve; 0 disables)")
@@ -92,7 +93,7 @@ func run(args []string) error {
 		ep.AddPeer(ids.ProcessID(name), addr)
 	}
 
-	gcfg := gcs.GroupConfig{Order: parseOrder(*order)}
+	gcfg := gcs.GroupConfig{Order: parseOrder(*order), Batch: *batch}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 

@@ -153,7 +153,11 @@ func run() error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				replies, err := g2gs[i].Invoke(ctx, uint64(n+1), "audit", []byte(job), core.All)
+				// Every worker names the same deterministic call number, so the
+				// request manager can filter the duplicates (WithCallID is
+				// mandatory on the group-to-group surface).
+				replies, err := g2gs[i].Call(ctx, "audit", []byte(job),
+					core.WithCallID(ids.CallID{Number: uint64(n + 1)}), core.WithMode(core.All))
 				if err != nil {
 					errs <- fmt.Errorf("worker-%d job %s: %w", i, job, err)
 					return

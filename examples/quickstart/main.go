@@ -112,7 +112,7 @@ func run() error {
 	fmt.Printf("client bound; request manager is %s\n\n", binding.RequestManager())
 
 	for i := 0; i < 3; i++ {
-		replies, err := binding.Invoke(ctx, "increment", nil, core.All)
+		replies, err := binding.Call(ctx, "increment", nil, core.WithMode(core.All))
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,7 @@ func run() error {
 		}
 	}
 
-	replies, err := binding.Invoke(ctx, "read", nil, core.Majority)
+	replies, err := binding.Call(ctx, "read", nil, core.WithMode(core.Majority))
 	if err != nil {
 		return err
 	}
@@ -131,18 +131,37 @@ func run() error {
 		fmt.Printf("  %s -> %d\n", r.Server, binary.BigEndian.Uint64(r.Payload))
 	}
 
-	if _, err := binding.Invoke(ctx, "increment", nil, core.OneWay); err != nil {
+	if _, err := binding.Call(ctx, "increment", nil, core.WithMode(core.OneWay)); err != nil {
 		return err
 	}
 	fmt.Println("\none-way increment issued (no reply expected)")
 
 	time.Sleep(100 * time.Millisecond)
-	replies, err = binding.Invoke(ctx, "read", nil, core.First)
+	replies, err = binding.Call(ctx, "read", nil) // wait-for-first is the default mode
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nread (wait-for-first): %s -> %d\n",
 		replies[0].Server, binary.BigEndian.Uint64(replies[0].Payload))
+
+	// --- pipelined asynchronous invocation ---
+	// InvokeAsync returns a future immediately, so a window of calls can
+	// be in flight at once instead of one blocking round trip at a time
+	// (see README "Pipelined invocation").
+	calls := make([]*core.Call, 0, 3)
+	for i := 0; i < 3; i++ {
+		c, err := binding.InvokeAsync(ctx, "increment", nil, core.WithMode(core.All))
+		if err != nil {
+			return err
+		}
+		calls = append(calls, c)
+	}
+	for _, c := range calls {
+		if _, err := c.Await(ctx); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\npipelined 3 increments through one outstanding-call window")
 	fmt.Println("\nall three replicas hold the same counter: total-order delivery at work")
 	return nil
 }

@@ -116,7 +116,7 @@ func run() error {
 	fmt.Printf("closed binding formed with replicas %v\n\n", binding.Servers())
 
 	put := func(k, v string, mode core.ReplyMode) error {
-		replies, err := binding.Invoke(ctx, "put", []byte(k+"="+v), mode)
+		replies, err := binding.Call(ctx, "put", []byte(k+"="+v), core.WithMode(mode))
 		if err != nil {
 			return fmt.Errorf("put %s: %w", k, err)
 		}
@@ -124,7 +124,7 @@ func run() error {
 		return nil
 	}
 	get := func(k string) error {
-		replies, err := binding.Invoke(ctx, "get", []byte(k), core.All)
+		replies, err := binding.Call(ctx, "get", []byte(k), core.WithMode(core.All))
 		if err != nil {
 			return fmt.Errorf("get %s: %w", k, err)
 		}

@@ -97,7 +97,7 @@ func run() error {
 
 	invoke := func(label string) error {
 		t0 := time.Now()
-		replies, err := proxy.Invoke(ctx, "get", []byte(label), core.First)
+		replies, err := proxy.Call(ctx, "get", []byte(label), core.WithMode(core.First))
 		if err != nil {
 			return fmt.Errorf("invoke %s: %w", label, err)
 		}

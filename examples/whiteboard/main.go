@@ -39,6 +39,9 @@ func cfg() gcs.GroupConfig {
 		Resend:         50 * time.Millisecond,
 		FlushTimeout:   400 * time.Millisecond,
 		Tick:           2 * time.Millisecond,
+		// Strokes arrive in bursts; batching coalesces a burst into one
+		// wire envelope per tick without touching the shared total order.
+		Batch: true,
 	}
 }
 

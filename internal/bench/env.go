@@ -104,6 +104,9 @@ type EnvConfig struct {
 	NClients int
 	// Order is the server group's ordering protocol (default sequencer).
 	Order gcs.OrderMode
+	// Batch enables sender-side multicast batching on the server group
+	// (the pipeline experiment's amortisation lever).
+	Batch bool
 	// Handler is the replicated service; nil installs the paper's
 	// pseudo-random-number object.
 	Handler core.Handler
@@ -141,6 +144,7 @@ func NewEnv(ctx context.Context, cfg EnvConfig) (*Env, error) {
 	}
 	timers := evalTimers()
 	timers.Order = cfg.Order
+	timers.Batch = cfg.Batch
 
 	var contact ids.ProcessID
 	for i := 0; i < cfg.NServers; i++ {

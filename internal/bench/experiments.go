@@ -111,6 +111,7 @@ func Experiments() []Experiment {
 			expect: "the sequencer redirection roughly halves throughput relative to symmetric",
 		})},
 		{ID: "peer-lan", Title: "§5.2 text: peer participation on the LAN, both orderings", Run: runPeerLAN},
+		{ID: "pipeline", Title: "Pipeline: async window + sender-side batching vs the serial client loop", Run: runPipeline},
 		{ID: "closed-symmetric", Title: "§5.1.3 text: closed vs open under symmetric ordering", Run: runClosedSymmetric},
 	}
 }

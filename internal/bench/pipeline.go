@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/netsim"
+)
+
+// This file measures the pipelined asynchronous invocation path against
+// the serial client loop the paper's throughput graphs are built from.
+// The serial loop issues one blocking call at a time, so its req/s
+// ceiling is the invocation latency — not the hardware (the ROADMAP's
+// north star). The pipelined variant keeps a window of InvokeAsync calls
+// outstanding and turns sender-side batching on end to end (client/server
+// group and server group), so the per-message processing cost is charged
+// once per envelope instead of once per message.
+
+// pipelineWindow is the outstanding-call depth of the pipelined variant.
+const pipelineWindow = 32
+
+// pipelineVariant is one measured row of the pipeline experiment.
+type pipelineVariant struct {
+	name       string
+	requests   int
+	elapsed    time.Duration
+	throughput float64
+	// batches/batched are the client-side envelope counters (pipelined
+	// variant only; zero when batching is off).
+	batches, batched uint64
+}
+
+func runPipeline(ctx context.Context, sc Scale) (*Result, error) {
+	res := &Result{
+		ID:    "pipeline",
+		Title: "Pipeline: async window + sender-side batching vs the serial client loop",
+		Expectation: "the serial loop is latency-bound; a pipelining client with batching " +
+			"multiplies single-client throughput (>=2x on the LAN, more over the WAN where " +
+			"the window also hides the round-trip time)",
+	}
+	// Enough requests to cycle the window many times at smoke scale.
+	requests := sc.Requests * 5
+	if requests < 3*pipelineWindow {
+		requests = 3 * pipelineWindow
+	}
+	for _, place := range []Placement{PlacementLAN, PlacementMixed} {
+		serial, err := runPipelineVariant(ctx, sc, place, requests, false)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s serial: %w", place.Name, err)
+		}
+		piped, err := runPipelineVariant(ctx, sc, place, requests, true)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s async: %w", place.Name, err)
+		}
+		tbl := Table{
+			Title:  fmt.Sprintf("serial vs pipelined single client (3 replicas, wait-for-first), %s", place.Name),
+			Header: []string{"variant", "requests", "elapsed (ms)", "req/s", "speedup", "batches", "batched msgs"},
+		}
+		for _, v := range []pipelineVariant{serial, piped} {
+			speedup := "1.0"
+			if v.name != serial.name && serial.throughput > 0 {
+				speedup = fmt.Sprintf("%.1f", v.throughput/serial.throughput)
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				v.name, fmt.Sprint(v.requests), fmtMS(v.elapsed), fmtF(v.throughput),
+				speedup, fmt.Sprint(v.batches), fmt.Sprint(v.batched),
+			})
+		}
+		res.Tables = append(res.Tables, tbl)
+	}
+	return res, nil
+}
+
+// runPipelineVariant measures one single-client throughput run: serial
+// blocking calls, or a windowed InvokeAsync pipeline with batching on.
+func runPipelineVariant(ctx context.Context, sc Scale, place Placement, requests int, pipelined bool) (pipelineVariant, error) {
+	env, err := NewEnv(ctx, EnvConfig{
+		Profile:  netsim.EvalProfile(),
+		Seed:     sc.Seed,
+		Place:    place,
+		NServers: 3,
+		NClients: 1,
+		Batch:    pipelined,
+	})
+	if err != nil {
+		return pipelineVariant{}, err
+	}
+	defer env.Close()
+
+	bc := core.BindConfig{
+		ServerGroup: env.ServerGroup,
+		Contact:     env.Contact(),
+		Style:       core.Open,
+		GCS:         evalTimers(),
+		BindTimeout: 30 * time.Second,
+	}
+	if pipelined {
+		bc.GCS.Batch = true
+		bc.Window = pipelineWindow
+	}
+	b, err := env.Clients[0].Bind(ctx, bc)
+	if err != nil {
+		return pipelineVariant{}, err
+	}
+	defer b.Close()
+
+	// Warm-up steadies the protocol machinery (roster, sequencer, caches).
+	for k := 0; k < 2; k++ {
+		if _, err := b.Call(ctx, "rand", nil); err != nil {
+			return pipelineVariant{}, fmt.Errorf("warm-up: %w", err)
+		}
+	}
+
+	v := pipelineVariant{name: "serial", requests: requests}
+	start := time.Now()
+	if !pipelined {
+		for k := 0; k < requests; k++ {
+			if _, err := b.Call(ctx, "rand", nil); err != nil {
+				return pipelineVariant{}, err
+			}
+		}
+	} else {
+		v.name = fmt.Sprintf("pipelined (window=%d, batch)", pipelineWindow)
+		calls := make([]*core.Call, 0, requests)
+		for k := 0; k < requests; k++ {
+			c, err := b.InvokeAsync(ctx, "rand", nil)
+			if err != nil {
+				return pipelineVariant{}, err
+			}
+			calls = append(calls, c)
+		}
+		for _, c := range calls {
+			if _, err := c.Await(ctx); err != nil {
+				return pipelineVariant{}, err
+			}
+		}
+	}
+	v.elapsed = time.Since(start)
+	if v.elapsed > 0 {
+		v.throughput = float64(requests) / v.elapsed.Seconds()
+	}
+	s := b.Group().Stats()
+	v.batches, v.batched = s.BatchesSent, s.BatchedMsgs
+	return v, nil
+}

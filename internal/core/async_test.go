@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+)
+
+// TestCallOptionSurface exercises the unified Invoker surface: Call with
+// variadic options against a binding and a proxy, plus the default mode.
+func TestCallOptionSurface(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	b, err := w.clients[0].Bind(ctxT(t, 10*time.Second), w.bindCfg(core.Open))
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer b.Close()
+
+	var inv core.Invoker = b // the binding satisfies the unified surface
+	replies, err := inv.Call(ctxT(t, 10*time.Second), "echo", []byte("hi"), core.WithMode(core.All))
+	if err != nil {
+		t.Fatalf("call all: %v", err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("wait-for-all got %d replies, want 3", len(replies))
+	}
+
+	// Default mode is wait-for-first.
+	replies, err = inv.Call(ctxT(t, 10*time.Second), "echo", []byte("d"))
+	if err != nil {
+		t.Fatalf("call default: %v", err)
+	}
+	if len(replies) != 1 {
+		t.Fatalf("default mode got %d replies, want 1", len(replies))
+	}
+
+	// An explicit call identifier is idempotent: the retry returns the
+	// retained replies without re-executing (§4.1).
+	call := w.clients[0].DebugNewCall()
+	before := w.totalCalls()
+	if _, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("idem"), core.WithCallID(call), core.WithMode(core.All)); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	mid := w.totalCalls()
+	if _, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("idem"), core.WithCallID(call), core.WithMode(core.All)); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if after := w.totalCalls(); after != mid {
+		t.Fatalf("retry re-executed: %d -> %d executions", mid, after)
+	}
+	if mid == before {
+		t.Fatal("first call never executed")
+	}
+}
+
+// totalCalls sums the per-server execution counters.
+func (w *world) totalCalls() int64 {
+	var n int64
+	for _, c := range w.calls {
+		n += c.Load()
+	}
+	return n
+}
+
+// TestInvokeAsyncPipelines issues a window of calls before awaiting any
+// of them; every future must complete with the full reply set. The
+// binding's group has batching forced on, so the pipelined requests ride
+// the sender-side batch envelopes end to end.
+func TestInvokeAsyncPipelines(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	cfg := w.bindCfg(core.Open)
+	cfg.GCS.Batch = true
+	cfg.Window = 8
+	b, err := w.clients[0].Bind(ctxT(t, 10*time.Second), cfg)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer b.Close()
+
+	const n = 16
+	calls := make([]*core.Call, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := b.InvokeAsync(ctxT(t, 20*time.Second), "echo", []byte(fmt.Sprintf("p%d", i)), core.WithMode(core.All))
+		if err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+		calls = append(calls, c)
+	}
+	for i, c := range calls {
+		replies, err := c.Await(ctxT(t, 20*time.Second))
+		if err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+		if len(replies) != 3 {
+			t.Fatalf("call %d got %d replies, want 3", i, len(replies))
+		}
+		if c.Err() != nil {
+			t.Fatalf("call %d terminal err: %v", i, c.Err())
+		}
+	}
+}
+
+// TestInvokeAsyncCancelMidFlight launches a call whose reply can never
+// arrive (the request manager's network is crashed after binding), then
+// cancels it: the future must complete promptly with context.Canceled.
+func TestInvokeAsyncCancelMidFlight(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	b, err := w.clients[0].Bind(ctxT(t, 10*time.Second), w.bindCfg(core.Open))
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer b.Close()
+
+	w.net.Sim().Crash(b.RequestManager())
+	c, err := b.InvokeAsync(ctxT(t, 20*time.Second), "echo", []byte("doomed"), core.WithMode(core.First))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	select {
+	case <-c.Done():
+		t.Fatalf("call completed before cancel: %v", c.Err())
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Cancel()
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call never completed")
+	}
+	if _, err := c.Replies(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("terminal err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWindowBackpressure binds with Window=1: while one call is in
+// flight, the next InvokeAsync must block until the slot frees — and
+// respect its context while blocked.
+func TestWindowBackpressure(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	cfg := w.bindCfg(core.Open)
+	cfg.Window = 1
+	b, err := w.clients[0].Bind(ctxT(t, 10*time.Second), cfg)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer b.Close()
+
+	// Occupy the only slot with a call that cannot complete.
+	w.net.Sim().Crash(b.RequestManager())
+	first, err := b.InvokeAsync(ctxT(t, 30*time.Second), "echo", []byte("hold"), core.WithMode(core.First))
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+
+	// A second launch blocks on the full window and times out.
+	start := time.Now()
+	shortCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := b.InvokeAsync(shortCtx, "echo", []byte("blocked"), core.WithMode(core.First)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("window-full launch err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 80*time.Millisecond {
+		t.Fatal("second launch returned without blocking on the window")
+	}
+
+	// Cancelling the first call frees its slot; a patient launch gets it.
+	first.Cancel()
+	<-first.Done()
+	if _, err := b.InvokeAsync(ctxT(t, 5*time.Second), "echo", []byte("next"), core.WithMode(core.First)); err != nil {
+		t.Fatalf("post-release launch: %v", err)
+	}
+}
+
+// TestInvokeAsyncOneWay: a one-way launch completes its future
+// immediately and occupies no window slot afterwards.
+func TestInvokeAsyncOneWay(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	cfg := w.bindCfg(core.Open)
+	cfg.Window = 1
+	b, err := w.clients[0].Bind(ctxT(t, 10*time.Second), cfg)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 4; i++ { // would deadlock if one-way held its slot
+		c, err := b.InvokeAsync(ctxT(t, 10*time.Second), "touch", nil, core.WithMode(core.OneWay))
+		if err != nil {
+			t.Fatalf("one-way %d: %v", i, err)
+		}
+		select {
+		case <-c.Done():
+		default:
+			t.Fatal("one-way future not complete at return")
+		}
+		if replies, err := c.Replies(); err != nil || replies != nil {
+			t.Fatalf("one-way result: %v, %v", replies, err)
+		}
+	}
+}
+
+// TestProxyAsync drives the smart proxy through the async surface.
+func TestProxyAsync(t *testing.T) {
+	w := newWorld(t, 3, 1)
+	p, err := w.clients[0].NewProxy(ctxT(t, 10*time.Second), w.bindCfg(core.Open))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+
+	var inv core.Invoker = p
+	c, err := inv.InvokeAsync(ctxT(t, 20*time.Second), "echo", []byte("via-proxy"), core.WithMode(core.All))
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	replies, err := c.Await(ctxT(t, 20*time.Second))
+	if err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("got %d replies, want 3", len(replies))
+	}
+}

@@ -37,6 +37,23 @@ type BindConfig struct {
 	GCS gcs.GroupConfig
 	// BindTimeout bounds group formation (default 10s).
 	BindTimeout time.Duration
+	// Window bounds the outstanding InvokeAsync calls on the binding —
+	// the pipelining depth. When the window is full, InvokeAsync blocks
+	// until a call completes (backpressure). Synchronous calls occupy a
+	// slot for their whole duration too, since they are an InvokeAsync
+	// awaited immediately. Default 16.
+	Window int
+}
+
+// defaultWindow is the pipelining depth when BindConfig.Window is unset.
+const defaultWindow = 16
+
+// windowOf resolves the configured pipelining depth.
+func windowOf(cfg BindConfig) int {
+	if cfg.Window > 0 {
+		return cfg.Window
+	}
+	return defaultWindow
 }
 
 // Binding is a client's attachment to a server group through a
@@ -57,6 +74,11 @@ type Binding struct {
 	brokenCh chan struct{}
 	viewCh   chan struct{}
 	closed   bool
+
+	// window is the outstanding-call semaphore: one slot per in-flight
+	// invocation, capacity BindConfig.Window. Acquired in InvokeAsync,
+	// released when the call completes.
+	window chan struct{}
 
 	loopDone chan struct{}
 }
@@ -114,6 +136,7 @@ func (s *Service) Bind(ctx context.Context, cfg BindConfig) (*Binding, error) {
 		sgMembers: members,
 		brokenCh:  make(chan struct{}),
 		viewCh:    make(chan struct{}, 1),
+		window:    make(chan struct{}, windowOf(cfg)),
 		loopDone:  make(chan struct{}),
 	}
 
@@ -157,6 +180,7 @@ func (s *Service) bindClosed(ctx context.Context, cfg BindConfig, members []ids.
 		servers:   members,
 		brokenCh:  make(chan struct{}),
 		viewCh:    make(chan struct{}, 1),
+		window:    make(chan struct{}, windowOf(cfg)),
 		loopDone:  make(chan struct{}),
 	}
 	go b.clientLoop()
@@ -358,21 +382,48 @@ func (b *Binding) onView(v *gcs.View) {
 
 // Invoke performs one invocation on the server group with a fresh call
 // number.
+//
+// Deprecated: use Call with WithMode.
 func (b *Binding) Invoke(ctx context.Context, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	return b.InvokeCall(ctx, b.svc.newCall(), method, args, mode)
+	return b.Call(ctx, method, args, WithMode(mode))
 }
 
 // InvokeCall performs an invocation with an explicit call identifier;
 // retrying with the same identifier after a rebind never re-executes at
 // the servers (§4.1). The smart proxy relies on this.
+//
+// Deprecated: use Call with WithCallID and WithMode.
 func (b *Binding) InvokeCall(ctx context.Context, call ids.CallID, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	return b.invokeTraced(ctx, call, method, args, mode, obs.NewTraceID())
+	return b.Call(ctx, method, args, WithCallID(call), WithMode(mode))
 }
 
-// invokeTraced is InvokeCall with an explicit trace identifier (group-to-
-// group invocations derive a shared one so every client-group member's
-// copy of the call lands in the same trace).
-func (b *Binding) invokeTraced(ctx context.Context, call ids.CallID, method string, args []byte, mode ReplyMode, tid obs.TraceID) ([]Reply, error) {
+// Call performs one invocation and blocks for the mode's reply quorum
+// (Invoker surface). It is InvokeAsync awaited immediately, so it
+// occupies one window slot for its duration.
+func (b *Binding) Call(ctx context.Context, method string, args []byte, opts ...CallOption) ([]Reply, error) {
+	c, err := b.InvokeAsync(ctx, method, args, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Cancel()
+	return c.Await(ctx)
+}
+
+// InvokeAsync launches one invocation and returns its future. The
+// request is multicast synchronously (so a pipelining client's issue
+// order is its per-sender FIFO order on the wire); gathering the replies
+// happens in the background and completes the future. A full
+// outstanding-call window blocks here until a slot frees — that is the
+// pipelining backpressure.
+func (b *Binding) InvokeAsync(ctx context.Context, method string, args []byte, opts ...CallOption) (*Call, error) {
+	o := resolveCallOpts(opts)
+	if !o.hasCall {
+		o.call = b.svc.newCall()
+	}
+	if o.trace == 0 {
+		o.trace = obs.NewTraceID()
+	}
+
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -384,51 +435,88 @@ func (b *Binding) invokeTraced(ctx context.Context, call ids.CallID, method stri
 	}
 	b.mu.Unlock()
 
-	w := b.svc.registerWaiter(call)
-	defer b.svc.dropWaiter(call)
+	// Acquire an outstanding-call slot (window backpressure).
+	select {
+	case b.window <- struct{}{}:
+	case <-b.brokenCh:
+		return nil, ErrBindingBroken
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	release := func() { <-b.window }
+	b.svc.metrics.asyncCalls.Inc()
+	b.svc.metrics.asyncInflightHigh.SetMax(int64(len(b.window)))
+
+	w := b.svc.registerWaiter(o.call)
 	// Keep the group's failure detection alive while we wait: an idle
 	// event-driven group would otherwise never notice a request manager
 	// that died after the request stabilised but before replying.
 	b.group.Attend()
-	defer b.group.Unattend()
 
 	start := time.Now()
 	req := &invRequest{
-		Call:   call,
-		Mode:   mode,
+		Call:   o.call,
+		Mode:   o.mode,
 		Method: method,
 		Args:   args,
 		Client: b.svc.ID(),
 		Style:  b.cfg.Style,
-		Trace:  uint64(tid),
+		Trace:  uint64(o.trace),
 		SentAt: start.UnixNano(),
 	}
-	defer func() {
+	record := func() {
 		d := time.Since(start)
-		b.svc.metrics.invokeHist(mode).Observe(d)
+		b.svc.metrics.invokeHist(o.mode).Observe(d)
 		b.svc.obs.Tracer.Record(obs.Span{
-			Trace: tid,
+			Trace: o.trace,
 			Stage: "client.invoke",
 			Proc:  string(b.svc.ID()),
 			Depth: 0,
 			Start: start,
 			Dur:   d,
-			Note:  "mode=" + mode.String() + " style=" + b.cfg.Style.String(),
+			Note:  "mode=" + o.mode.String() + " style=" + b.cfg.Style.String(),
 		})
-	}()
+	}
 	if err := b.group.Multicast(ctx, encodeRequest(req)); err != nil {
+		b.group.Unattend()
+		b.svc.dropWaiter(o.call)
+		release()
+		record()
 		if errors.Is(err, gcs.ErrLeft) {
 			return nil, ErrBindingBroken
 		}
 		return nil, err
 	}
-	if mode == OneWay {
-		return nil, nil
+
+	c := newCallFuture(o.call, o.mode, ctx)
+	if o.mode == OneWay {
+		b.group.Unattend()
+		b.svc.dropWaiter(o.call)
+		release()
+		record()
+		c.complete(nil, nil)
+		return c, nil
 	}
-	if b.cfg.Style == Open {
-		return b.awaitReplySet(ctx, w)
-	}
-	return b.awaitDirectReplies(ctx, w, mode)
+	go func() {
+		defer func() {
+			b.group.Unattend()
+			b.svc.dropWaiter(o.call)
+			release()
+		}()
+		var replies []Reply
+		var err error
+		if b.cfg.Style == Open {
+			replies, err = b.awaitReplySet(c.ctx, w)
+		} else {
+			replies, err = b.awaitDirectReplies(c.ctx, w, o.mode)
+		}
+		if errors.Is(err, context.Canceled) {
+			b.svc.metrics.asyncCancelled.Inc()
+		}
+		record()
+		c.complete(replies, err)
+	}()
+	return c, nil
 }
 
 // awaitReplySet waits for the request manager's aggregated answer.

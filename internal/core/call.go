@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"newtop/internal/ids"
+)
+
+// Call is the future of one asynchronous invocation (InvokeAsync). The
+// request is already on the wire when the future is handed out; the
+// replies (or the terminal error) arrive through it. A Call completes
+// exactly once — when the reply quorum is met, the binding breaks, or
+// the call is cancelled — and its result is immutable afterwards.
+type Call struct {
+	id   ids.CallID
+	mode ReplyMode
+
+	// ctx governs the in-flight wait; cancel completes the call early
+	// with context.Canceled. Derived from the InvokeAsync context, so
+	// cancelling the parent cancels the call too.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done chan struct{}
+
+	mu      sync.Mutex
+	replies []Reply
+	err     error
+}
+
+// newCallFuture builds a pending future whose in-flight wait is bounded
+// by the parent context.
+func newCallFuture(id ids.CallID, mode ReplyMode, parent context.Context) *Call {
+	cctx, cancel := context.WithCancel(parent)
+	return &Call{id: id, mode: mode, ctx: cctx, cancel: cancel, done: make(chan struct{})}
+}
+
+// complete records the terminal result and releases every waiter. It
+// must be called exactly once.
+func (c *Call) complete(replies []Reply, err error) {
+	c.mu.Lock()
+	c.replies, c.err = replies, err
+	c.mu.Unlock()
+	close(c.done)
+	c.cancel()
+}
+
+// ID returns the invocation's call identifier.
+func (c *Call) ID() ids.CallID { return c.id }
+
+// Mode returns the invocation's reply mode.
+func (c *Call) Mode() ReplyMode { return c.mode }
+
+// Done is closed when the call has completed (replies gathered, binding
+// broken, or cancelled). Select on it to multiplex many futures.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Cancel abandons the call mid-flight: the future completes with
+// context.Canceled (unless it already completed). The request may still
+// execute at the servers — cancellation releases the client's wait, it
+// does not recall the multicast.
+func (c *Call) Cancel() { c.cancel() }
+
+// Await blocks until the call completes or ctx expires.
+func (c *Call) Await(ctx context.Context) ([]Reply, error) {
+	select {
+	case <-c.done:
+		return c.Replies()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Replies returns the call's result: the gathered replies after
+// completion, or (nil, nil) while still in flight. Use Done or Await to
+// synchronise.
+func (c *Call) Replies() ([]Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replies, c.err
+}
+
+// Err returns the call's terminal error (nil on success or while still
+// in flight).
+func (c *Call) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

@@ -180,7 +180,35 @@ func (g *G2G) loop() {
 // client group's own totally-ordered delivery stream) so the request
 // manager can filter duplicates; the aggregated reply is delivered to all
 // members.
+//
+// Deprecated: use Call with WithCallID (the identifier's Number is the
+// shared per-call number) and WithMode.
 func (g *G2G) Invoke(ctx context.Context, number uint64, method string, args []byte, mode ReplyMode) ([]Reply, error) {
+	return g.Call(ctx, method, args, WithCallID(ids.CallID{Number: number}), WithMode(mode))
+}
+
+// Call performs one group-to-group invocation and blocks for the
+// aggregated reply (Invoker surface). WithCallID is mandatory: its
+// Number is the deterministic per-call number every client-group member
+// must share so the request manager can filter the duplicate copies; the
+// Client component is overridden with the monitor group's identity.
+func (g *G2G) Call(ctx context.Context, method string, args []byte, opts ...CallOption) ([]Reply, error) {
+	c, err := g.InvokeAsync(ctx, method, args, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Cancel()
+	return c.Await(ctx)
+}
+
+// InvokeAsync launches one group-to-group invocation and returns its
+// future (see Call for the WithCallID requirement). Pipelined calls from
+// a client group member keep their issue order on the wire.
+func (g *G2G) InvokeAsync(ctx context.Context, method string, args []byte, opts ...CallOption) (*Call, error) {
+	o := resolveCallOpts(opts)
+	if !o.hasCall {
+		return nil, ErrNeedCallNumber
+	}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -192,49 +220,77 @@ func (g *G2G) Invoke(ctx context.Context, number uint64, method string, args []b
 	}
 	g.mu.Unlock()
 
-	call := ids.CallID{Client: ids.ProcessID("g2g/" + string(g.group.ID())), Number: number}
+	call := ids.CallID{Client: ids.ProcessID("g2g/" + string(g.group.ID())), Number: o.call.Number}
+	if o.trace == 0 {
+		// Every client-group member derives the same trace identifier from
+		// the call's coordinates, so all duplicate copies of the request —
+		// and the request manager's processing of the surviving one — share
+		// one trace.
+		o.trace = obs.DeriveTraceID("g2g/"+string(g.group.ID()), call.Number)
+	}
+	g.svc.metrics.asyncCalls.Inc()
 	w := g.svc.registerWaiter(call)
-	defer g.svc.dropWaiter(call)
 	g.group.Attend()
-	defer g.group.Unattend()
 
-	// Every client-group member derives the same trace identifier from the
-	// call's coordinates, so all duplicate copies of the request — and the
-	// request manager's processing of the surviving one — share one trace.
-	tid := obs.DeriveTraceID("g2g/"+string(g.group.ID()), number)
 	start := time.Now()
 	req := &invRequest{
 		Call:   call,
-		Mode:   mode,
+		Mode:   o.mode,
 		Method: method,
 		Args:   args,
 		Client: g.svc.ID(),
 		Style:  Open,
-		Trace:  uint64(tid),
+		Trace:  uint64(o.trace),
 		SentAt: start.UnixNano(),
 	}
-	defer func() {
+	record := func() {
 		d := time.Since(start)
-		g.svc.metrics.invokeHist(mode).Observe(d)
+		g.svc.metrics.invokeHist(o.mode).Observe(d)
 		g.svc.obs.Tracer.Record(obs.Span{
-			Trace: tid,
+			Trace: o.trace,
 			Stage: "client.invoke",
 			Proc:  string(g.svc.ID()),
 			Depth: 0,
 			Start: start,
 			Dur:   d,
-			Note:  "mode=" + mode.String() + " style=g2g",
+			Note:  "mode=" + o.mode.String() + " style=g2g",
 		})
-	}()
+	}
 	if err := g.group.Multicast(ctx, encodeRequest(req)); err != nil {
+		g.group.Unattend()
+		g.svc.dropWaiter(call)
+		record()
 		if errors.Is(err, gcs.ErrLeft) {
 			return nil, ErrBindingBroken
 		}
 		return nil, err
 	}
-	if mode == OneWay {
-		return nil, nil
+
+	c := newCallFuture(call, o.mode, ctx)
+	if o.mode == OneWay {
+		g.group.Unattend()
+		g.svc.dropWaiter(call)
+		record()
+		c.complete(nil, nil)
+		return c, nil
 	}
+	go func() {
+		defer func() {
+			g.group.Unattend()
+			g.svc.dropWaiter(call)
+		}()
+		replies, err := g.awaitSet(c.ctx, w)
+		if errors.Is(err, context.Canceled) {
+			g.svc.metrics.asyncCancelled.Inc()
+		}
+		record()
+		c.complete(replies, err)
+	}()
+	return c, nil
+}
+
+// awaitSet waits for the request manager's aggregated answer.
+func (g *G2G) awaitSet(ctx context.Context, w *callWaiter) ([]Reply, error) {
 	select {
 	case set := <-w.set:
 		if set.Err != "" {

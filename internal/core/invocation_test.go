@@ -249,6 +249,12 @@ func TestGroupToGroupFiltersDuplicates(t *testing.T) {
 		}
 	}()
 
+	// The unified surface insists on a shared deterministic call number:
+	// without WithCallID the request manager could not filter duplicates.
+	if _, err := g2gs[0].Call(ctx, "do", []byte("nope")); !errors.Is(err, core.ErrNeedCallNumber) {
+		t.Fatalf("g2g call without WithCallID: %v, want ErrNeedCallNumber", err)
+	}
+
 	// Every worker issues the same calls; replies identical; each call
 	// executed once per replica despite three requesters.
 	for n := 1; n <= 3; n++ {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"newtop/internal/ids"
+	"newtop/internal/obs"
+)
+
+// Invoker is the single invocation surface shared by every client-side
+// shape of the layer — Binding (one client/server group), Proxy (the
+// self-rebinding smart proxy) and G2G (group-to-group through a client
+// monitor group). The paper presents these as one facility with three
+// configurations; the interface makes the code say the same thing, so a
+// caller can be handed "something invokable" without caring which group
+// topology sits underneath.
+//
+// Call blocks for the mode's reply quorum. InvokeAsync returns a *Call
+// future immediately after the request is on the wire, enabling
+// pipelining: many calls outstanding on one binding, bounded by the
+// binding's window (BindConfig.Window).
+type Invoker interface {
+	// Call performs one invocation and blocks for the replies required
+	// by the reply mode (default wait-for-first; see WithMode).
+	Call(ctx context.Context, method string, args []byte, opts ...CallOption) ([]Reply, error)
+	// InvokeAsync launches one invocation and returns its future. The
+	// request is multicast before InvokeAsync returns (so the issue
+	// order of a pipelining client is its delivery order at the
+	// servers); the replies arrive through the future.
+	InvokeAsync(ctx context.Context, method string, args []byte, opts ...CallOption) (*Call, error)
+	// Close releases the underlying group resources.
+	Close() error
+}
+
+var (
+	_ Invoker = (*Binding)(nil)
+	_ Invoker = (*Proxy)(nil)
+	_ Invoker = (*G2G)(nil)
+)
+
+// ErrNeedCallNumber is returned by G2G invocations issued without
+// WithCallID: every member of the client group must use the same
+// deterministic per-call number or the request manager cannot filter the
+// duplicate copies (§4.3).
+var ErrNeedCallNumber = errors.New("core: group-to-group calls need WithCallID (a deterministic per-call number shared by the client group)")
+
+// callOpts is the resolved option set of one invocation.
+type callOpts struct {
+	mode    ReplyMode
+	call    ids.CallID
+	hasCall bool
+	trace   obs.TraceID
+}
+
+// CallOption configures one invocation (see WithMode, WithCallID,
+// WithTrace).
+type CallOption func(*callOpts)
+
+// WithMode selects the reply mode (one-way, wait-for-first,
+// wait-for-majority, wait-for-all). The default is First.
+func WithMode(m ReplyMode) CallOption {
+	return func(o *callOpts) { o.mode = m }
+}
+
+// WithCallID pins the invocation's call identifier instead of allocating
+// a fresh one. Reusing an identifier after a rebind never re-executes at
+// the servers (§4.1's retained replies) — the smart proxy relies on
+// this. For G2G the identifier's Number is the deterministic per-call
+// number every client-group member must share; the Client component is
+// overridden with the monitor group's identity.
+func WithCallID(id ids.CallID) CallOption {
+	return func(o *callOpts) { o.call = id; o.hasCall = true }
+}
+
+// WithTrace threads an explicit trace identifier through the invocation
+// instead of allocating (Binding/Proxy) or deriving (G2G) one.
+func WithTrace(t obs.TraceID) CallOption {
+	return func(o *callOpts) { o.trace = t }
+}
+
+// resolveCallOpts folds the options over the defaults.
+func resolveCallOpts(opts []CallOption) callOpts {
+	o := callOpts{mode: First}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

@@ -19,6 +19,12 @@ type coreMetrics struct {
 	monitorDups *obs.Counter
 	// rebinds counts smart-proxy rebinds after a broken binding (§2.1).
 	rebinds *obs.Counter
+	// asyncCalls counts InvokeAsync launches; asyncCancelled counts
+	// futures that ended cancelled; asyncInflightHigh is the deepest
+	// pipelining (outstanding calls in one binding's window) observed.
+	asyncCalls        *obs.Counter
+	asyncCancelled    *obs.Counter
+	asyncInflightHigh *obs.Gauge
 }
 
 func newCoreMetrics(o *obs.Obs) *coreMetrics {
@@ -27,6 +33,9 @@ func newCoreMetrics(o *obs.Obs) *coreMetrics {
 		rmRelays:    o.Reg.Counter("core_rm_relays"),
 		monitorDups: o.Reg.Counter("core_monitor_dup_filtered"),
 		rebinds:     o.Reg.Counter("core_proxy_rebinds"),
+		asyncCalls:        o.Reg.Counter("core_async_calls"),
+		asyncCancelled:    o.Reg.Counter("core_async_cancelled"),
+		asyncInflightHigh: o.Reg.Gauge("core_async_inflight_highwater"),
 	}
 	for mode := OneWay; mode <= All; mode++ {
 		m.invokeLatency[mode] = o.Reg.Histogram("core_invoke_latency_" + obs.Sanitize(mode.String()))

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs"
 )
 
 // Proxy is the paper's "smart proxy" (§2.1): a binding wrapper that, when
@@ -60,8 +61,61 @@ func (p *Proxy) Close() error {
 
 // Invoke calls the server group, rebinding and retrying (with the same
 // call number) whenever the binding breaks under it.
+//
+// Deprecated: use Call with WithMode.
 func (p *Proxy) Invoke(ctx context.Context, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	call := p.svc.newCall()
+	return p.Call(ctx, method, args, WithMode(mode))
+}
+
+// Call performs one invocation (Invoker surface), rebinding and retrying
+// with the same call number whenever the binding breaks under it — the
+// retained replies at the servers make the retry idempotent.
+func (p *Proxy) Call(ctx context.Context, method string, args []byte, opts ...CallOption) ([]Reply, error) {
+	o := p.resolveProxyOpts(opts)
+	return p.callResolved(ctx, method, args, o)
+}
+
+// InvokeAsync launches one invocation and returns its future; the
+// rebind-and-retry loop runs in the background. The proxy has no window
+// of its own — each attempt occupies a slot of the current underlying
+// binding's window.
+func (p *Proxy) InvokeAsync(ctx context.Context, method string, args []byte, opts ...CallOption) (*Call, error) {
+	o := p.resolveProxyOpts(opts)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.mu.Unlock()
+	p.svc.metrics.asyncCalls.Inc()
+	c := newCallFuture(o.call, o.mode, ctx)
+	go func() {
+		replies, err := p.callResolved(c.ctx, method, args, o)
+		if errors.Is(err, context.Canceled) {
+			p.svc.metrics.asyncCancelled.Inc()
+		}
+		c.complete(replies, err)
+	}()
+	return c, nil
+}
+
+// resolveProxyOpts fills the options a retry loop must keep stable: the
+// call identifier (idempotent retries) and the trace (every attempt of
+// one logical call lands in one trace).
+func (p *Proxy) resolveProxyOpts(opts []CallOption) callOpts {
+	o := resolveCallOpts(opts)
+	if !o.hasCall {
+		o.call = p.svc.newCall()
+		o.hasCall = true
+	}
+	if o.trace == 0 {
+		o.trace = obs.NewTraceID()
+	}
+	return o
+}
+
+// callResolved drives the rebind-and-retry loop for one invocation.
+func (p *Proxy) callResolved(ctx context.Context, method string, args []byte, o callOpts) ([]Reply, error) {
 	var lastErr error
 	for attempt := 0; attempt <= maxRebinds; attempt++ {
 		p.mu.Lock()
@@ -87,7 +141,8 @@ func (p *Proxy) Invoke(ctx context.Context, method string, args []byte, mode Rep
 			continue
 		}
 
-		replies, err := b.InvokeCall(ctx, call, method, args, mode)
+		replies, err := b.Call(ctx, method, args,
+			WithCallID(o.call), WithMode(o.mode), WithTrace(o.trace))
 		if err == nil {
 			return replies, nil
 		}

@@ -235,6 +235,8 @@ func encodeBindRequest(m *bindRequest) []byte {
 	w.Varint(int64(m.Config.Resend))
 	w.Varint(int64(m.Config.FlushTimeout))
 	w.Varint(int64(m.Config.Tick))
+	w.Bool(m.Config.Batch)
+	w.Varint(int64(m.Config.BatchLimit))
 	return w.Bytes()
 }
 
@@ -256,6 +258,8 @@ func decodeBindRequest(b []byte) (*bindRequest, error) {
 	m.Config.Resend = durationFromVarint(r)
 	m.Config.FlushTimeout = durationFromVarint(r)
 	m.Config.Tick = durationFromVarint(r)
+	m.Config.Batch = r.Bool()
+	m.Config.BatchLimit = int(r.Varint())
 	if err := r.Done(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,212 @@
+package gcs_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+)
+
+// batchConfig is testConfig with sender-side batching forced on.
+func batchConfig(order gcs.OrderMode) gcs.GroupConfig {
+	cfg := testConfig(order)
+	cfg.Batch = true
+	return cfg
+}
+
+// TestBatchTotalOrderAgreement forces batching on and re-runs the
+// total-order agreement check: batches are unpacked before ordering, so
+// every member must still deliver the identical sequence. It also
+// verifies batching actually happened (envelopes carried more messages
+// than there were envelopes).
+func TestBatchTotalOrderAgreement(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		order := order
+		t.Run(order.String(), func(t *testing.T) {
+			h := newHarness(t, 3)
+			groups := h.buildGroup("g", batchConfig(order))
+
+			const perMember = 20
+			for i := 0; i < perMember; i++ {
+				for j, g := range groups {
+					msg := fmt.Sprintf("m-%d-%d", j, i)
+					if err := g.Multicast(context.Background(), []byte(msg)); err != nil {
+						t.Fatalf("multicast: %v", err)
+					}
+				}
+			}
+
+			total := perMember * len(groups)
+			var sequences [][]string
+			for _, g := range groups {
+				dels := collect(t, g, total, 30*time.Second)
+				seq := make([]string, len(dels))
+				for i, d := range dels {
+					seq[i] = string(d.Payload)
+				}
+				sequences = append(sequences, seq)
+			}
+			for i := 1; i < len(sequences); i++ {
+				for j := range sequences[0] {
+					if sequences[i][j] != sequences[0][j] {
+						t.Fatalf("member %d diverges at %d: %q vs %q",
+							i, j, sequences[i][j], sequences[0][j])
+					}
+				}
+			}
+
+			var batches, batched uint64
+			for _, g := range groups {
+				s := g.Stats()
+				batches += s.BatchesSent
+				batched += s.BatchedMsgs
+			}
+			if batches == 0 {
+				t.Fatal("Batch on, but no batch envelope was ever flushed")
+			}
+			if batched < batches {
+				t.Fatalf("batched=%d < batches=%d: envelopes must carry at least one message", batched, batches)
+			}
+		})
+	}
+}
+
+// TestBatchCoalesces checks the amortisation itself: a burst queued
+// within one tick window must leave in fewer envelopes than messages.
+func TestBatchCoalesces(t *testing.T) {
+	h := newHarness(t, 2)
+	cfg := batchConfig(gcs.OrderCausal)
+	cfg.Tick = 20 * time.Millisecond // wide window so the burst shares it
+	cfg.TimeSilence = 40 * time.Millisecond
+	groups := h.buildGroup("g", cfg)
+
+	const burst = 10
+	for i := 0; i < burst; i++ {
+		if err := groups[0].Multicast(context.Background(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, groups[1], burst, 10*time.Second)
+
+	s := groups[0].Stats()
+	if s.BatchesSent == 0 || s.BatchedMsgs < uint64(burst) {
+		t.Fatalf("burst not batched: %+v", s)
+	}
+	if s.BatchesSent >= uint64(burst) {
+		t.Fatalf("no coalescing: %d envelopes for %d messages", s.BatchesSent, burst)
+	}
+}
+
+// TestBatchUnderLoss forces batching on under heavy random loss: the
+// resend machinery (which retransmits individual frames) must still
+// reach total-order agreement.
+func TestBatchUnderLoss(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		order := order
+		t.Run(order.String(), func(t *testing.T) {
+			h := newHarness(t, 3)
+			cfg := batchConfig(order)
+			cfg.Resend = 15 * time.Millisecond
+			cfg.SuspectTimeout = 2 * time.Second // loss must not look like death
+			cfg.FlushTimeout = 3 * time.Second
+			groups := h.buildGroup("g", cfg)
+
+			h.net.Sim().SetLoss(0.25)
+			const perMember = 8
+			for i := 0; i < perMember; i++ {
+				for j, g := range groups {
+					msg := fmt.Sprintf("%d/%d", j, i)
+					if err := g.Multicast(context.Background(), []byte(msg)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			h.net.Sim().SetLoss(0)
+
+			total := perMember * len(groups)
+			var first []string
+			for i, g := range groups {
+				dels := collect(t, g, total, 60*time.Second)
+				seq := make([]string, len(dels))
+				for k, d := range dels {
+					seq[k] = string(d.Payload)
+				}
+				if i == 0 {
+					first = seq
+					continue
+				}
+				for k := range first {
+					if seq[k] != first[k] {
+						t.Fatalf("loss broke agreement at %d: %q vs %q", k, seq[k], first[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSurvivesMemberCrash crashes a member mid-burst with batching
+// on: the survivors must install the two-member view and agree on one
+// delivery sequence — queued batch buffers must not wedge the flush
+// (view changes drop them; the cut recovers what was already ingested).
+func TestBatchSurvivesMemberCrash(t *testing.T) {
+	h := newHarness(t, 3)
+	cfg := batchConfig(gcs.OrderSymmetric)
+	groups := h.buildGroup("g", cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if err := groups[0].Multicast(ctx, []byte(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.net.Sim().Crash(h.nodes[2].ID())
+	for i := 0; i < 5; i++ {
+		if err := groups[0].Multicast(ctx, []byte(fmt.Sprintf("post%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both survivors reach the two-member view and keep delivering.
+	for _, g := range groups[:2] {
+		waitView(t, g, 15*time.Second, func(v gcs.View) bool { return len(v.Members) == 2 })
+	}
+	if err := groups[0].Multicast(ctx, []byte("after-view")); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{}
+	for i := 0; i < 5; i++ {
+		want = append(want, fmt.Sprintf("pre%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		want = append(want, fmt.Sprintf("post%d", i))
+	}
+	want = append(want, "after-view")
+	var first []string
+	for i, g := range groups[:2] {
+		dels := collect(t, g, len(want), 30*time.Second)
+		seq := make([]string, len(dels))
+		for k, d := range dels {
+			seq[k] = string(d.Payload)
+		}
+		if i == 0 {
+			first = seq
+			continue
+		}
+		for k := range first {
+			if seq[k] != first[k] {
+				t.Fatalf("crash broke agreement at %d: %q vs %q", k, seq[k], first[k])
+			}
+		}
+	}
+	// One sender, so FIFO fixes the sequence exactly.
+	for k := range want {
+		if first[k] != want[k] {
+			t.Fatalf("delivery %d = %q, want %q", k, first[k], want[k])
+		}
+	}
+}

@@ -116,8 +116,23 @@ type GroupConfig struct {
 	// charged once per data message sent and once per data message
 	// received. The evaluation harness calibrates it so a single NewTop
 	// invocation costs ~2.5x a raw ORB call, as measured in the paper;
-	// leave zero outside simulations.
+	// leave zero outside simulations. With Batch enabled the cost is
+	// charged once per wire envelope instead of once per message — the
+	// amortisation batching exists to buy.
 	ProcessingCost time.Duration
+	// Batch enables sender-side multicast batching: application messages
+	// queued within the same tick window are coalesced into one batch
+	// envelope on the wire. Batches are unpacked at the receiver before
+	// ordering, so every delivery guarantee (causal, symmetric,
+	// asymmetric, view synchrony) is untouched; protocol nulls flush the
+	// buffer immediately so liveness and acknowledgement timing keep
+	// their unbatched promptness. Batching is sender-local: members of
+	// one group may disagree on it.
+	Batch bool
+	// BatchLimit caps how many data messages one batch envelope may
+	// carry; a full buffer flushes without waiting for the tick. The
+	// default is 64.
+	BatchLimit int
 }
 
 // Defaults for the evaluation profile's time scale.
@@ -152,8 +167,14 @@ func (c GroupConfig) withDefaults() GroupConfig {
 	if c.Tick <= 0 {
 		c.Tick = defaultTick
 	}
+	if c.BatchLimit <= 0 {
+		c.BatchLimit = defaultBatchLimit
+	}
 	return c
 }
+
+// defaultBatchLimit bounds one batch envelope when Batch is enabled.
+const defaultBatchLimit = 64
 
 // validateDomain checks the domain/order combination.
 func (c GroupConfig) validateDomain() error {

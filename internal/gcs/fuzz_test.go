@@ -14,6 +14,7 @@ func FuzzDecodeMessage(f *testing.F) {
 		f.Add(encodeMessage(randomData(r)))
 	}
 	f.Add(encodeMessage(&proposeMsg{Group: "g", NewSeq: 3, Proposer: "p"}))
+	f.Add(encodeMessage(&batchMsg{Group: "g", Msgs: []*dataMsg{randomData(r), randomData(r)}}))
 	f.Add(encodeMessage(&commitMsg{Group: "g", NewSeq: 3, Proposer: "p", Order: OrderSymmetric}))
 	f.Add([]byte{})
 

@@ -65,6 +65,11 @@ type Group struct {
 	store         map[ids.MsgID]*dataMsg // unstable messages retained for flush/resend
 	stableSeq     map[ids.ProcessID]uint64
 	maxAppStamp   vclock.Stamp // greatest application stamp ingested from others
+	// batchBuf holds this member's data messages queued for the next batch
+	// flush (cfg.Batch only). Queued messages are already self-ingested and
+	// in the store, so a view change can simply drop the buffer: the flush
+	// protocol recovers them through the commit's cut.
+	batchBuf []*dataMsg
 
 	// Liveness machinery.
 	lastSentAt time.Time
@@ -107,7 +112,7 @@ type Group struct {
 
 // DebugCounters tallies protocol traffic for diagnostics (package-wide).
 var DebugCounters struct {
-	App, Null, OrderNull, AckNull, TimeSilenceNull, Resend atomic.Int64
+	App, Null, OrderNull, AckNull, TimeSilenceNull, Resend, Batches atomic.Int64
 }
 
 // flushCoord is the coordinator-side state of one membership change round.
@@ -331,7 +336,7 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 			}
 		}
 	}
-	if g.cfg.ProcessingCost > 0 {
+	if g.cfg.ProcessingCost > 0 && !g.batchingLocked() {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-message processing cost (paper's overload experiments); zero in production configs
 	}
 	g.lastSentAt = time.Now() //lint:ok detclock liveness: time-silence pacing, not an ordering input
@@ -341,7 +346,64 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 	// and only message can never stabilise at the other members.
 	m.Acks = g.ackSnapshotLocked()
 	g.store[m.msgID()] = m
-	g.broadcastLocked(m)
+	if g.batchingLocked() {
+		g.queueBatchLocked(m)
+	} else {
+		g.broadcastLocked(m)
+	}
+}
+
+// batchingLocked reports whether sends currently go through the batch
+// buffer: configured, in the normal state, and with someone to send to (a
+// singleton view has no wire traffic to coalesce).
+func (g *Group) batchingLocked() bool {
+	return g.cfg.Batch && g.state == stateNormal && len(g.view.Members) > 1
+}
+
+// queueBatchLocked appends one freshly-built data message to the batch
+// buffer. Null messages flush the buffer at once: they exist for
+// liveness, acknowledgement and ordering progress, so delaying them a
+// tick would slow the protocol, and because they are emitted last in any
+// burst they carry the buffered application messages out with them (FIFO
+// per sender is preserved — the buffer flushes in emit order).
+func (g *Group) queueBatchLocked(m *dataMsg) {
+	g.batchBuf = append(g.batchBuf, m)
+	if m.Null || len(g.batchBuf) >= g.cfg.BatchLimit {
+		g.flushBatchLocked()
+	}
+}
+
+// flushBatchLocked puts the queued data messages on the wire as one batch
+// envelope (or as a bare data message when only one is queued, where the
+// envelope would buy nothing). The simulated ProcessingCost is charged
+// once per envelope rather than once per message — the sender-side half
+// of the amortisation that batching exists for.
+func (g *Group) flushBatchLocked() {
+	if len(g.batchBuf) == 0 {
+		return
+	}
+	msgs := g.batchBuf
+	g.batchBuf = nil
+	if g.cfg.ProcessingCost > 0 {
+		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-envelope processing cost (amortised across the batch); zero in production configs
+	}
+	var enc []byte
+	if len(msgs) == 1 {
+		enc = encodeMessage(msgs[0])
+	} else {
+		enc = encodeMessage(&batchMsg{Group: g.id, Msgs: msgs})
+	}
+	DebugCounters.Batches.Add(1)
+	g.stats.BatchesSent++
+	g.stats.BatchedMsgs += uint64(len(msgs))
+	g.metrics.batchesSent.Inc()
+	g.metrics.batchedMsgs.Add(uint64(len(msgs)))
+	g.metrics.batchSizeHigh.SetMax(int64(len(msgs)))
+	for _, p := range g.view.Members {
+		if p != g.me {
+			g.sendLocked(p, enc) // best-effort; resend machinery recovers
+		}
+	}
 }
 
 // broadcastLocked transmits an encoded message to every other view member.
@@ -411,28 +473,68 @@ func (g *Group) assignSnapshotLocked() []assign {
 	return out
 }
 
-// handleData ingests one inbound data message (mu held). Data is only
-// accepted in the normal state: after a member flush-acks, anything still
-// in flight from the old view is recovered through the commit's cut (or
-// counts as lost with its sender), never ingested directly — that is what
-// keeps the cut the authoritative "all or none" message set.
+// handleData ingests one inbound data message (mu held): the per-message
+// acceptance half, then the post-ingest tail.
 func (g *Group) handleData(m *dataMsg) {
+	if g.acceptDataLocked(m, true) {
+		g.postIngestLocked()
+	}
+}
+
+// handleBatch unpacks a sender-side batch envelope: every inner message
+// is accepted exactly as if it had arrived alone — before any ordering
+// decision, so delivery semantics are untouched — and then the
+// post-ingest tail runs once for the whole envelope. That single tail
+// pass is the receive-side half of the amortisation: one prompt-ack null
+// covers the entire batch instead of one per message (block-gating), and
+// the simulated ProcessingCost is charged once per envelope.
+func (g *Group) handleBatch(b *batchMsg) {
+	if len(b.Msgs) == 0 {
+		return
+	}
 	if g.state != stateNormal && g.state != stateFlushing {
 		return
+	}
+	if g.cfg.ProcessingCost > 0 {
+		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-envelope processing cost (amortised across the batch); zero in production configs
+	}
+	accepted := false
+	for _, m := range b.Msgs {
+		if g.acceptDataLocked(m, false) {
+			accepted = true
+		}
+	}
+	if accepted {
+		g.postIngestLocked()
+	}
+}
+
+// acceptDataLocked runs the per-message half of data handling: state and
+// view filtering, clock witnessing, ack/assign merging, and
+// contiguous-or-stash ingestion. It reports whether the message was
+// processed in the normal state (so the post-ingest tail should run).
+// Data is only accepted in the normal state: after a member flush-acks,
+// anything still in flight from the old view is recovered through the
+// commit's cut (or counts as lost with its sender), never ingested
+// directly — that is what keeps the cut the authoritative "all or none"
+// message set.
+func (g *Group) acceptDataLocked(m *dataMsg, charge bool) bool {
+	if g.state != stateNormal && g.state != stateFlushing {
+		return false
 	}
 	if g.view.Contains(m.Sender) {
 		g.lastHeard[m.Sender] = time.Now() //lint:ok detclock failure-detector liveness bookkeeping
 	}
 	if g.state != stateNormal {
-		return
+		return false
 	}
 	if m.ViewSeq != g.view.Seq || m.ViewInstaller != g.view.Installer {
-		return // stale or foreign-view traffic
+		return false // stale or foreign-view traffic
 	}
 	if !g.view.Contains(m.Sender) {
-		return
+		return false
 	}
-	if g.cfg.ProcessingCost > 0 {
+	if charge && g.cfg.ProcessingCost > 0 {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-message processing cost (paper's overload experiments); zero in production configs
 	}
 	g.node.clock.Witness(m.Lamport)
@@ -461,7 +563,13 @@ func (g *Group) handleData(m *dataMsg) {
 		}
 		g.stash[m.Sender][m.Seq] = m
 	}
+	return true
+}
 
+// postIngestLocked is the once-per-frame tail of data handling: stability
+// compaction, the delivery loop, frontier publication and the prompt
+// acknowledgement.
+func (g *Group) postIngestLocked() {
 	g.compactStableLocked()
 	g.tryDeliverLocked()
 	g.publishFrontierLocked()
@@ -825,6 +933,10 @@ func (g *Group) installViewLocked(v View) {
 	g.store = make(map[ids.MsgID]*dataMsg)
 	g.stableSeq = make(map[ids.ProcessID]uint64, len(v.Members))
 	g.maxAppStamp = vclock.Stamp{}
+	// Any messages still queued for a batch flush belonged to the old
+	// view; they are already in that view's store, so the flush protocol
+	// recovered (or declared lost) every one of them through the cut.
+	g.batchBuf = nil
 	now := time.Now() //lint:ok detclock liveness: seeds time-silence pacing and failure-detector clocks for the new view
 	g.lastSentAt = now
 	g.lastHeard = make(map[ids.ProcessID]time.Time, len(v.Members))
@@ -892,6 +1004,10 @@ func (g *Group) Leave() error {
 	coord := g.actingCoordinator()
 	me := g.me
 	enc := encodeMessage(&leaveMsg{Group: g.id, Leaver: me})
+	// Push any batched messages onto the wire before departing; the
+	// remaining members would otherwise only recover them through resends
+	// directed at a process that is gone.
+	g.flushBatchLocked()
 	g.closeLocked(nil)
 	g.mu.Unlock()
 
@@ -936,6 +1052,8 @@ func (g *Group) handle(from ids.ProcessID, msg any, size int) {
 	switch m := msg.(type) {
 	case *dataMsg:
 		g.handleData(m)
+	case *batchMsg:
+		g.handleBatch(m)
 	case *joinMsg:
 		g.handleJoin(m)
 	case *leaveMsg:

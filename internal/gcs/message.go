@@ -19,6 +19,7 @@ const (
 	kindPropose
 	kindFlushAck
 	kindCommit
+	kindBatch
 )
 
 // assign is one sequencer ordering decision: the message identified by
@@ -61,6 +62,16 @@ type dataMsg struct {
 func (m *dataMsg) msgID() ids.MsgID { return ids.MsgID{Sender: m.Sender, Seq: m.Seq} }
 
 func (m *dataMsg) stamp() vclock.Stamp { return vclock.Stamp{Time: m.Lamport, Sender: m.Sender} }
+
+// batchMsg is a sender-side batch envelope: the data messages one member
+// queued within a tick window, coalesced into a single wire frame. The
+// receiver unpacks the envelope and ingests each message exactly as if it
+// had arrived alone — before any ordering decision — so batching changes
+// wire framing and per-message processing cost, never delivery semantics.
+type batchMsg struct {
+	Group ids.GroupID
+	Msgs  []*dataMsg
+}
 
 type joinMsg struct {
 	Group  ids.GroupID
@@ -236,6 +247,10 @@ func encodeMessage(msg any) []byte {
 	case *dataMsg:
 		w.Byte(kindData)
 		putData(w, m)
+	case *batchMsg:
+		w.Byte(kindBatch)
+		w.String(string(m.Group))
+		putDataList(w, m.Msgs)
 	case *joinMsg:
 		w.Byte(kindJoin)
 		w.String(string(m.Group))
@@ -290,6 +305,11 @@ func decodeMessage(payload []byte) (any, error) {
 	switch kind {
 	case kindData:
 		msg = getData(r)
+	case kindBatch:
+		msg = &batchMsg{
+			Group: ids.GroupID(r.String()),
+			Msgs:  getDataList(r),
+		}
 	case kindJoin:
 		msg = &joinMsg{Group: ids.GroupID(r.String()), Joiner: ids.ProcessID(r.String())}
 	case kindLeave:
@@ -338,6 +358,8 @@ func decodeMessage(payload []byte) (any, error) {
 func groupOf(msg any) ids.GroupID {
 	switch m := msg.(type) {
 	case *dataMsg:
+		return m.Group
+	case *batchMsg:
 		return m.Group
 	case *joinMsg:
 		return m.Group

@@ -115,6 +115,7 @@ func TestControlMsgRoundTrips(t *testing.T) {
 			Cut:     []*dataMsg{randomData(r)},
 			Assigns: []assign{{Sender: "b", Seq: 2, Global: 1}},
 		},
+		&batchMsg{Group: "g", Msgs: []*dataMsg{randomData(r), randomData(r), randomData(r)}},
 	}
 	for _, m := range msgs {
 		dec, err := decodeMessage(encodeMessage(m))
@@ -131,6 +132,16 @@ func TestControlMsgRoundTrips(t *testing.T) {
 			for i := range want.Unstable {
 				if !eqData(want.Unstable[i], got.Unstable[i]) {
 					t.Fatalf("flushAck unstable %d mismatch", i)
+				}
+			}
+		case *batchMsg:
+			got := dec.(*batchMsg)
+			if got.Group != want.Group || len(got.Msgs) != len(want.Msgs) {
+				t.Fatalf("batch mismatch: %+v vs %+v", got, want)
+			}
+			for i := range want.Msgs {
+				if !eqData(want.Msgs[i], got.Msgs[i]) {
+					t.Fatalf("batch msg %d mismatch", i)
 				}
 			}
 		case *commitMsg:
@@ -167,6 +178,7 @@ func TestGroupOf(t *testing.T) {
 		&proposeMsg{Group: "g5"},
 		&flushAckMsg{Group: "g6"},
 		&commitMsg{Group: "g7"},
+		&batchMsg{Group: "g8"},
 	}
 	for i, m := range cases {
 		want := ids.GroupID("g" + string(rune('1'+i)))

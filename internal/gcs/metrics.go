@@ -13,6 +13,11 @@ type gcsMetrics struct {
 	appSent, nullsSent *obs.Counter
 	appDelivered       *obs.Counter
 	resent             *obs.Counter
+	// batchesSent / batchedMsgs mirror Stats.BatchesSent/BatchedMsgs;
+	// batchSizeHigh is the largest envelope flushed so far.
+	batchesSent   *obs.Counter
+	batchedMsgs   *obs.Counter
+	batchSizeHigh *obs.Gauge
 	bytesSent          *obs.Counter
 	bytesRecv          *obs.Counter
 	viewsInstalled     *obs.Counter
@@ -36,6 +41,9 @@ func newGCSMetrics(o *obs.Obs) *gcsMetrics {
 		nullsSent:       o.Reg.Counter("gcs_nulls_sent"),
 		appDelivered:    o.Reg.Counter("gcs_app_delivered"),
 		resent:          o.Reg.Counter("gcs_resent"),
+		batchesSent:     o.Reg.Counter("gcs_batches_sent"),
+		batchedMsgs:     o.Reg.Counter("gcs_batched_msgs"),
+		batchSizeHigh:   o.Reg.Gauge("gcs_batch_size_highwater"),
 		bytesSent:       o.Reg.Counter("gcs_bytes_sent"),
 		bytesRecv:       o.Reg.Counter("gcs_bytes_recv"),
 		viewsInstalled:  o.Reg.Counter("gcs_views_installed"),

@@ -337,13 +337,14 @@ func TestLargeGroupDeliversPromptly(t *testing.T) {
 			time.Sleep(100 * time.Millisecond)
 			sends := h.net.Sends.Load() - base
 			// One multicast (n-1 sends) + one ack round (≈ n² sends) +
-			// ordering and stability traffic; 12·n² is generous headroom,
+			// ordering and stability traffic; 20·n² is generous headroom,
 			// while the livelock this guards against burned hundreds of n².
 			// The budget is a function of the protocol's real-time timers,
 			// so it only means anything at native speed: the race
 			// detector's slowdown legitimately multiplies null and resend
-			// traffic.
-			budget := int64(12 * members * members)
+			// traffic, and CPU contention from parallel package tests
+			// stretches quiet periods into extra time-silence nulls.
+			budget := int64(20 * members * members)
 			if sends > budget && !raceEnabled {
 				t.Fatalf("one multicast cost %d sends (budget %d)", sends, budget)
 			}

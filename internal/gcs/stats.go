@@ -13,6 +13,11 @@ type Stats struct {
 	AppDelivered uint64
 	// Resent counts retransmitted messages.
 	Resent uint64
+	// BatchesSent counts batch envelopes flushed to the wire (cfg.Batch);
+	// BatchedMsgs counts the data messages they carried. Their ratio is
+	// the realised batching factor.
+	BatchesSent uint64
+	BatchedMsgs uint64
 	// BytesSent / BytesReceived count the wire bytes of this group's
 	// protocol traffic (data, acks, flush and membership messages).
 	BytesSent     uint64
@@ -30,8 +35,9 @@ type Stats struct {
 
 // String renders a compact one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("sent=%d nulls=%d delivered=%d resent=%d bytesOut=%d bytesIn=%d views=%d cut=%d pending=%d store=%d members=%d",
-		s.AppSent, s.NullSent, s.AppDelivered, s.Resent, s.BytesSent, s.BytesReceived,
+	return fmt.Sprintf("sent=%d nulls=%d delivered=%d resent=%d batches=%d batched=%d bytesOut=%d bytesIn=%d views=%d cut=%d pending=%d store=%d members=%d",
+		s.AppSent, s.NullSent, s.AppDelivered, s.Resent, s.BatchesSent, s.BatchedMsgs,
+		s.BytesSent, s.BytesReceived,
 		s.ViewsInstalled, s.CutDelivered, s.Pending, s.StoreSize, s.Members)
 }
 
@@ -44,6 +50,8 @@ func (s Stats) Plus(t Stats) Stats {
 		NullSent:       s.NullSent + t.NullSent,
 		AppDelivered:   s.AppDelivered + t.AppDelivered,
 		Resent:         s.Resent + t.Resent,
+		BatchesSent:    s.BatchesSent + t.BatchesSent,
+		BatchedMsgs:    s.BatchedMsgs + t.BatchedMsgs,
 		BytesSent:      s.BytesSent + t.BytesSent,
 		BytesReceived:  s.BytesReceived + t.BytesReceived,
 		ViewsInstalled: s.ViewsInstalled + t.ViewsInstalled,

@@ -44,6 +44,12 @@ func (g *Group) tick() {
 	g.updateActivityLocked()
 	active := g.wasActive
 
+	// Batching: the tick is the batch window. Anything the application
+	// queued since the last tick goes out now as one envelope.
+	if g.state == stateNormal {
+		g.flushBatchLocked()
+	}
+
 	// Time-silence: stay lively so peers neither block the symmetric
 	// order on us nor suspect us. Under the symmetric protocol a member
 	// holding undelivered application messages acks promptly (every tick

@@ -11,11 +11,13 @@ import (
 // LockBlock flags operations that can block while a sync.Mutex/RWMutex
 // may be held: channel sends and receives, selects without a default,
 // ranging over a channel, time.Sleep, sync.Cond/WaitGroup waits, network
-// I/O (transport.Endpoint.Send, package net) and the blocking gcs entry
-// points (Group.Multicast/Leave, Node.Join/Close). Every gcs event-loop
-// method runs under the group mutex; a blocking call there stalls the
-// whole protocol state machine (and can deadlock against the transport
-// pump feeding it).
+// I/O (transport.Endpoint.Send, package net), the blocking gcs entry
+// points (Group.Multicast/Leave, Node.Join/Close) and the blocking core
+// invocation surface (Binding/Proxy/G2G Call/Invoke/InvokeCall wait for
+// replies, InvokeAsync blocks on a full call window, Call.Await parks
+// until the future completes). Every gcs event-loop method runs under the
+// group mutex; a blocking call there stalls the whole protocol state
+// machine (and can deadlock against the transport pump feeding it).
 //
 // Lock state is tracked two ways, matching the codebase's conventions:
 // explicit x.Lock()/x.Unlock() pairs are followed linearly through a
@@ -439,6 +441,22 @@ func blockingCallee(fn *types.Func) string {
 			return "gcs.Group." + fn.Name() + " (blocks on view change/teardown)"
 		case n == "Node" && (fn.Name() == "Join" || fn.Name() == "Close"):
 			return "gcs.Node." + fn.Name() + " (blocks on membership/teardown)"
+		}
+	}
+	if hasPathSuffix(rpkg, "internal/core") {
+		n := namedOrigin(rt).Obj().Name()
+		switch {
+		case n == "Call" && fn.Name() == "Await":
+			return "core.Call.Await (parks until the future completes)"
+		case n == "Binding" || n == "Proxy" || n == "G2G":
+			switch fn.Name() {
+			case "Call", "Invoke", "InvokeCall":
+				return "core." + n + "." + fn.Name() + " (blocks until replies arrive)"
+			case "InvokeAsync":
+				// The async launch still blocks when the outstanding-call
+				// window is full (backpressure by design).
+				return "core." + n + ".InvokeAsync (blocks on a full call window)"
+			}
 		}
 	}
 	return ""

@@ -96,3 +96,51 @@ func (p *pump) suppressed() {
 		}
 	}()
 }
+
+// --- Call-future completion goroutines (the core async surface) ---
+
+// future models the Call future: a done channel plus a reply stream.
+type future struct {
+	done    chan struct{}
+	replies chan int
+}
+
+// await parks in a select until completion or cancellation — the shape of
+// core's awaitReplySet/awaitDirectReplies/awaitSet helpers.
+func (f *future) await() bool {
+	select {
+	case <-f.replies:
+		return true
+	case <-f.done:
+		return true
+	}
+}
+
+// completed is a non-blocking probe with no stop signal in it.
+func (f *future) completed() bool { return false }
+
+// A completion goroutine that parks in the await helper is reapable:
+// cancelling the future closes done and the select wakes. Clean.
+func (p *pump) okFutureCompletion(f *future) {
+	go func() {
+		for {
+			if f.await() {
+				return
+			}
+			step()
+		}
+	}()
+}
+
+// The polling variant spins forever when the future never completes —
+// nothing in reach can stop it. Flagged.
+func (p *pump) badFuturePoll(f *future) {
+	go func() { // want goorphan "no stop signal"
+		for {
+			if f.completed() {
+				return
+			}
+			step()
+		}
+	}()
+}

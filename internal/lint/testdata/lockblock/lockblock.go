@@ -4,8 +4,11 @@
 package lockblock
 
 import (
+	"context"
 	"sync"
 	"time"
+
+	"newtop/internal/core"
 )
 
 type loop struct {
@@ -95,4 +98,49 @@ func (l *loop) paced() {
 	l.mu.Lock()
 	time.Sleep(time.Millisecond) //lint:ok lockblock fixture: simulated processing cost, deliberate
 	l.mu.Unlock()
+}
+
+// --- the core invocation surface blocks; never call it under a mutex ---
+
+// Awaiting a Call future parks until the reply set (or cancellation).
+func (l *loop) awaitHeld(c *core.Call) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = c.Await(context.Background()) // want lockblock "core.Call.Await"
+}
+
+// A blocking invocation under an event-loop mutex stalls the group.
+func (l *loop) invokeHeld(b *core.Binding) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = b.Call(context.Background(), "m", nil) // want lockblock "core.Binding.Call"
+}
+
+// Even the async launch blocks when the call window is full.
+func (l *loop) launchHeld(b *core.Binding) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = b.InvokeAsync(context.Background(), "m", nil) // want lockblock "core.Binding.InvokeAsync"
+}
+
+// The future's done channel is an ordinary channel: receiving it under a
+// mutex is the plain channel-receive finding.
+func (l *loop) doneHeld(c *core.Call) {
+	l.mu.Lock()
+	<-c.Done() // want lockblock "channel receive"
+	l.mu.Unlock()
+}
+
+// Launching async and deferring the await past the unlock is the correct
+// shape: no findings.
+func (l *loop) launchThenAwait(b *core.Binding) {
+	l.mu.Lock()
+	held := l.wake // snapshot state under the lock
+	l.mu.Unlock()
+	_ = held
+	c, err := b.InvokeAsync(context.Background(), "m", nil)
+	if err != nil {
+		return
+	}
+	_, _ = c.Await(context.Background())
 }
