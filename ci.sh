@@ -27,6 +27,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+# Allocation budgets for the protocol hot paths: the multicast→deliver
+# cycle, wire encode/decode and the pooled writer itself. A regression
+# back to per-message maps, per-attempt sorting or per-encode buffers
+# fails here long before it would show up in a benchmark.
+echo "== alloc budgets =="
+go test -run AllocGuard ./internal/gcs/ ./internal/wire/
+
 if [ "${CI_SHORT:-0}" = "1" ]; then
 	echo "ci: CI_SHORT=1, skipping the race pass"
 else

@@ -5,20 +5,26 @@
 //
 // Usage:
 //
-//	newtop-bench [-experiment all|<id>[,<id>...]] [-quick] [-requests N] [-timeout D]
+//	newtop-bench [-experiment all|<id>[,<id>...]] [-quick] [-requests N] [-timeout D] [-json]
 //
 // Experiment identifiers (see DESIGN.md §4): table1, graphs1-2, graphs3-4,
 // graphs5-6, graphs7-8, graphs9-10, graphs11-12, graphs13-14, graphs15-16,
-// graph17, graph18, peer-lan, closed-symmetric, pipeline.
+// graph17, graph18, peer-lan, closed-symmetric, pipeline, hotpath.
 //
-// The pipeline experiment goes beyond the paper: it compares the serial
-// blocking client loop (the paper's workload) against a windowed
-// InvokeAsync pipeline with sender-side multicast batching enabled
-// (DESIGN.md §9).
+// The pipeline and hotpath experiments go beyond the paper: pipeline
+// compares the serial blocking client loop (the paper's workload) against
+// a windowed InvokeAsync pipeline with sender-side multicast batching
+// enabled (DESIGN.md §9); hotpath measures the protocol hot path itself —
+// throughput, deliver-all percentiles and allocations per multicast on a
+// LAN peer group under the fast profile (DESIGN.md §10). With -json each
+// selected experiment additionally writes its result, including the
+// machine-readable metrics map, to BENCH_<id>.json in the current
+// directory.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +49,7 @@ func run(args []string) error {
 		requests   = fs.Int("requests", 0, "override timed requests per client")
 		timeout    = fs.Duration("timeout", 45*time.Minute, "overall deadline")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
+		jsonOut    = fs.Bool("json", false, "also write each result to BENCH_<id>.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +98,22 @@ func run(args []string) error {
 			res.Title = e.Title
 		}
 		bench.Render(os.Stdout, res)
+		if *jsonOut {
+			name := fmt.Sprintf("BENCH_%s.json", e.ID)
+			if err := writeJSON(name, res); err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+			fmt.Printf("wrote %s\n", name)
+		}
 		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+func writeJSON(name string, res *bench.Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, append(b, '\n'), 0o644)
 }

@@ -46,17 +46,21 @@ func QuickScale() Scale {
 
 // Table is a rendered result table.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Result is one experiment's outcome.
 type Result struct {
-	ID          string
-	Title       string
-	Expectation string // the paper's qualitative claim for this artifact
-	Tables      []Table
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	Expectation string  `json:"expectation"` // the paper's qualitative claim for this artifact
+	Tables      []Table `json:"tables"`
+	// Metrics carries the experiment's headline numbers in machine-readable
+	// form for the -json output (BENCH_<id>.json); table rows stay the
+	// human rendering.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Experiment is a registered reproduction of one paper artifact.
@@ -113,6 +117,7 @@ func Experiments() []Experiment {
 		{ID: "peer-lan", Title: "§5.2 text: peer participation on the LAN, both orderings", Run: runPeerLAN},
 		{ID: "pipeline", Title: "Pipeline: async window + sender-side batching vs the serial client loop", Run: runPipeline},
 		{ID: "closed-symmetric", Title: "§5.1.3 text: closed vs open under symmetric ordering", Run: runClosedSymmetric},
+		{ID: "hotpath", Title: "Hot path: indexed delivery queues + pooled codec, LAN peer group", Run: runHotpath},
 	}
 }
 

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/netsim"
+)
+
+// runHotpath benchmarks the protocol hot path itself: a full-mesh LAN peer
+// group where every member multicasts as fast as its window allows, under
+// the fast network profile (zero simulated CPU cost, near-zero latency) so
+// that delivery-queue management and codec work dominate the measurement
+// rather than the simulated environment. It reports group throughput,
+// deliver-all latency percentiles, and an allocation budget per multicast
+// for both orderings; the numbers back the indexed-delivery-queue and
+// pooled-codec claims in EXPERIMENTS.md.
+func runHotpath(ctx context.Context, sc Scale) (*Result, error) {
+	members := maxCount(sc.PeerMembers, 9)
+	timers := hotpathTimers()
+
+	res := &Result{
+		ID:          "hotpath",
+		Expectation: "with indexed delivery queues and the pooled codec, the symmetric order sustains multiple thousand deliverable msg/s on a 9-member LAN group, and the asymmetric order spends O(1) allocations per multicast",
+		Metrics: map[string]float64{
+			"members":             float64(members),
+			"messages_per_member": float64(sc.PeerMessages),
+		},
+	}
+	tbl := Table{
+		Title:  fmt.Sprintf("hot path, %d-member lan peer group, fast profile", members),
+		Header: []string{"ordering", "msg/s (deliverable everywhere)", "p50 deliver-all (ms)", "p95 deliver-all (ms)", "allocs/msg", "KiB/msg"},
+	}
+
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		// The allocation budget is a whole-run delta over the process heap
+		// (formation, harness and protocol together) divided by the number
+		// of multicasts; it overstates the steady-state per-message cost,
+		// which keeps it honest as a regression budget.
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		pts, err := RunPeer(ctx, PeerConfig{
+			Profile:  netsim.FastProfile(),
+			Seed:     sc.Seed,
+			Place:    PlacementLAN,
+			Order:    order,
+			Members:  []int{members},
+			Messages: sc.PeerMessages,
+			Timers:   &timers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+
+		p := pts[0]
+		msgs := float64(members * sc.PeerMessages)
+		allocsPerMsg := float64(after.Mallocs-before.Mallocs) / msgs
+		bytesPerMsg := float64(after.TotalAlloc-before.TotalAlloc) / msgs
+		p50 := latPercentile(p.Latencies, 50)
+		p95 := latPercentile(p.Latencies, 95)
+
+		tbl.Rows = append(tbl.Rows, []string{
+			order.String(), fmtF(p.MsgPerSec), fmtMS(p50), fmtMS(p95),
+			fmtF(allocsPerMsg), fmtF(bytesPerMsg / 1024),
+		})
+		prefix := "symmetric"
+		if order == gcs.OrderSequencer {
+			prefix = "sequencer"
+		}
+		res.Metrics[prefix+"_msg_per_sec"] = p.MsgPerSec
+		res.Metrics[prefix+"_deliver_all_p50_ms"] = ms(p50)
+		res.Metrics[prefix+"_deliver_all_p95_ms"] = ms(p95)
+		res.Metrics[prefix+"_allocs_per_msg"] = allocsPerMsg
+		res.Metrics[prefix+"_bytes_per_msg"] = bytesPerMsg
+	}
+
+	res.Tables = []Table{tbl}
+	return res, nil
+}
+
+// hotpathTimers are aggressive group timers matched to the fast profile:
+// no simulated processing cost, a short time-silence so symmetric
+// deliver-all latency reflects queue work rather than null-message waits,
+// and suspicion slow enough to never fire on a saturated scheduler.
+func hotpathTimers() gcs.GroupConfig {
+	return gcs.GroupConfig{
+		TimeSilence:    5 * time.Millisecond,
+		SuspectTimeout: 10 * time.Second,
+		Resend:         500 * time.Millisecond,
+		FlushTimeout:   10 * time.Second,
+		Tick:           2 * time.Millisecond,
+	}
+}
+
+// latPercentile returns the q-th percentile of the samples (nearest-rank).
+func latPercentile(samples []time.Duration, q int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (len(sorted)*q + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// maxCount returns the largest sweep point, or fallback for an empty sweep.
+func maxCount(xs []int, fallback int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if m == 0 {
+		return fallback
+	}
+	return m
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

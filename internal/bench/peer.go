@@ -33,6 +33,10 @@ type PeerConfig struct {
 	// sender stalls until its own message w back has been delivered,
 	// modelling a bounded transport window instead of unbounded flooding.
 	Window int
+	// Timers overrides the group timers (default evalTimers); the hotpath
+	// experiment substitutes fast timers with no simulated processing cost
+	// so protocol CPU dominates the measurement.
+	Timers *gcs.GroupConfig
 }
 
 // PeerPoint is one measured point.
@@ -43,6 +47,9 @@ type PeerPoint struct {
 	DeliverAll time.Duration
 	// MsgPerSec is the group-level rate of fully-delivered multicasts.
 	MsgPerSec float64
+	// Latencies holds the per-multicast deliver-all samples, in completion
+	// order (the hotpath experiment derives percentiles from them).
+	Latencies []time.Duration
 }
 
 // RunPeer produces one point per group size.
@@ -75,11 +82,12 @@ type peerMsg struct {
 }
 
 func encodePeerMsg(m peerMsg, size int) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.String(string(m.Sender))
 	w.Uvarint(m.Seq)
 	w.Varint(m.SentAt)
-	b := w.Bytes()
+	b := w.Detach()
+	wire.PutWriter(w)
 	for len(b) < size {
 		b = append(b, '.')
 	}
@@ -102,6 +110,7 @@ type peerTracker struct {
 	need      int
 	delivered map[peerKey]int
 	totalLat  time.Duration
+	lats      []time.Duration
 	complete  int
 	lastDone  time.Time
 	done      chan struct{}
@@ -120,7 +129,9 @@ func (tr *peerTracker) record(m peerMsg, at time.Time) {
 	tr.delivered[k]++
 	if tr.delivered[k] == tr.need {
 		delete(tr.delivered, k)
-		tr.totalLat += at.Sub(time.Unix(0, m.SentAt))
+		lat := at.Sub(time.Unix(0, m.SentAt))
+		tr.totalLat += lat
+		tr.lats = append(tr.lats, lat)
 		tr.complete++
 		tr.lastDone = at
 		if tr.complete == tr.want {
@@ -132,6 +143,9 @@ func (tr *peerTracker) record(m peerMsg, at time.Time) {
 func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, error) {
 	net := memnet.New(netsim.New(cfg.Profile, cfg.Seed+int64(members)))
 	timers := evalTimers()
+	if cfg.Timers != nil {
+		timers = *cfg.Timers
+	}
 	timers.Order = cfg.Order
 	timers.Liveness = gcs.Lively
 
@@ -257,6 +271,7 @@ func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, 
 	mean := tr.totalLat / time.Duration(tr.complete)
 	elapsed := tr.lastDone.Sub(start)
 	complete := tr.complete
+	lats := tr.lats
 	tr.mu.Unlock()
 
 	// Close groups before the deferred node close so consumers drain.
@@ -269,5 +284,6 @@ func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, 
 		Members:    members,
 		DeliverAll: mean,
 		MsgPerSec:  float64(complete) / elapsed.Seconds(),
+		Latencies:  lats,
 	}, nil
 }

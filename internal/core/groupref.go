@@ -39,13 +39,15 @@ func (r GroupRef) String() string {
 // Encode serialises the reference for embedding in configuration, naming
 // services or other messages.
 func (r GroupRef) Encode() []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.String(string(r.Group))
 	w.Uvarint(uint64(len(r.Members)))
 	for _, m := range r.Members {
 		w.String(string(m))
 	}
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 // DecodeGroupRef parses an encoded reference.

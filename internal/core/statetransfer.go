@@ -41,12 +41,14 @@ type stateSnapshot struct {
 }
 
 func encodeStateSnapshot(s *stateSnapshot) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Bool(s.HasState)
 	w.Uvarint(s.Stamp.Time)
 	w.String(string(s.Stamp.Sender))
 	w.Blob(s.Data)
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 func decodeStateSnapshot(b []byte) (*stateSnapshot, error) {

@@ -89,7 +89,7 @@ func (r invReply) toReply() Reply {
 }
 
 func encodeRequest(m *invRequest) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(payloadRequest)
 	w.String(string(m.Call.Client))
 	w.Uvarint(m.Call.Number)
@@ -102,7 +102,9 @@ func encodeRequest(m *invRequest) []byte {
 	w.Bool(m.AsyncFwd)
 	w.Uvarint(m.Trace)
 	w.Varint(m.SentAt)
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 func putReply(w *wire.Writer, m invReply) {
@@ -119,7 +121,7 @@ func getReply(r *wire.Reader) invReply {
 	return invReply{
 		Call:      ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
 		Server:    ids.ProcessID(r.String()),
-		Payload:   r.Blob(),
+		Payload:   r.BlobRef(),
 		Err:       r.String(),
 		Trace:     r.Uvarint(),
 		ExecNanos: r.Varint(),
@@ -127,14 +129,16 @@ func getReply(r *wire.Reader) invReply {
 }
 
 func encodeReply(m invReply) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(payloadReply)
 	putReply(w, m)
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 func encodeReplySet(m *invReplySet) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(payloadReplySet)
 	w.String(string(m.Call.Client))
 	w.Uvarint(m.Call.Number)
@@ -144,7 +148,9 @@ func encodeReplySet(m *invReplySet) []byte {
 	}
 	w.String(m.Err)
 	w.Uvarint(m.Trace)
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 // decodePayload parses one invocation-layer multicast payload.
@@ -158,7 +164,7 @@ func decodePayload(b []byte) (any, error) {
 			Call:      ids.CallID{Client: ids.ProcessID(r.String()), Number: r.Uvarint()},
 			Mode:      ReplyMode(r.Uvarint()),
 			Method:    r.String(),
-			Args:      r.Blob(),
+			Args:      r.BlobRef(),
 			Client:    ids.ProcessID(r.String()),
 			Style:     Style(r.Uvarint()),
 			Forwarded: r.Bool(),
@@ -220,7 +226,7 @@ type bindRequest struct {
 }
 
 func encodeBindRequest(m *bindRequest) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.String(string(m.Group))
 	w.String(string(m.ServerGroup))
 	w.String(string(m.Contact))
@@ -237,7 +243,9 @@ func encodeBindRequest(m *bindRequest) []byte {
 	w.Varint(int64(m.Config.Tick))
 	w.Bool(m.Config.Batch)
 	w.Varint(int64(m.Config.BatchLimit))
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 func decodeBindRequest(b []byte) (*bindRequest, error) {
@@ -270,12 +278,14 @@ func durationFromVarint(r *wire.Reader) time.Duration { return time.Duration(r.V
 
 // encodeProcs/decodeProcs carry member lists in ORB control replies.
 func encodeProcs(ps []ids.ProcessID) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Uvarint(uint64(len(ps)))
 	for _, p := range ps {
 		w.String(string(p))
 	}
-	return w.Bytes()
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
 }
 
 func decodeProcs(b []byte) ([]ids.ProcessID, error) {

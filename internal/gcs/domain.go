@@ -166,11 +166,11 @@ func (g *Group) frontierLocked() vclock.Stamp {
 		return vclock.Stamp{} // reconfiguring: hold the siblings back
 	}
 	frontier := unbounded
-	for _, q := range g.view.Members {
-		if q == g.me {
+	for q, st := range g.lastStamp {
+		if q == g.midx.me {
 			continue
 		}
-		if st := g.lastStamp[q]; st.Less(frontier) {
+		if st.Less(frontier) {
 			frontier = st
 		}
 	}

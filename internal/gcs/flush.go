@@ -329,9 +329,30 @@ func (g *Group) applyCommitLocked(c *commitMsg) {
 // Pending messages outside the cut are discarded — they were received by
 // no surviving ack and count as "delivered by none".
 func (g *Group) deliverCutLocked(cut []*dataMsg) {
+	// Cut messages arrive decoded off the wire (no local sender index),
+	// and when concurrent membership rounds raced, a cut can even name
+	// senders outside the locally installed view; a spill map catches
+	// those so their delivered floor is still tracked for this pass.
+	var spill map[ids.ProcessID]uint64
+	deliveredOf := func(m *dataMsg) uint64 {
+		if si := g.midx.posOf(m.Sender); si >= 0 {
+			return g.delivered[si]
+		}
+		return spill[m.Sender]
+	}
+	advance := func(m *dataMsg) {
+		if si := g.midx.posOf(m.Sender); si >= 0 {
+			g.delivered[si] = m.Seq
+			return
+		}
+		if spill == nil {
+			spill = make(map[ids.ProcessID]uint64)
+		}
+		spill[m.Sender] = m.Seq
+	}
 	todo := make([]*dataMsg, 0, len(cut))
 	for _, m := range cut {
-		if m.Seq > g.delivered[m.Sender] {
+		if m.Seq > deliveredOf(m) {
 			todo = append(todo, m)
 		}
 	}
@@ -351,8 +372,8 @@ func (g *Group) deliverCutLocked(cut []*dataMsg) {
 		}
 	})
 	for _, m := range todo {
-		if m.Seq > g.delivered[m.Sender] {
-			g.delivered[m.Sender] = m.Seq
+		if m.Seq > deliveredOf(m) {
+			advance(m)
 		}
 		if !m.Null {
 			g.stats.AppDelivered++

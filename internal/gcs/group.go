@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,24 +46,42 @@ type Group struct {
 	state groupState
 	view  View
 
-	// Per-view messaging state (reset at every view installation).
+	// Per-view messaging state (reset at every view installation). The
+	// per-member counters are dense slices keyed by the view's member
+	// index (see mindex.go): every member derives the same position
+	// table from the sorted membership, so positions are meaningful on
+	// the wire and a counter read is an array load, not a map probe.
 	sendSeq       uint64
-	delivered     map[ids.ProcessID]uint64              // contiguous delivered per sender
-	recvContig    map[ids.ProcessID]uint64              // contiguous ingested per sender
-	stash         map[ids.ProcessID]map[uint64]*dataMsg // out-of-order buffer
-	pending       map[ids.MsgID]*dataMsg                // ingested, not yet delivered
-	lastStamp     map[ids.ProcessID]vclock.Stamp        // greatest contiguously-ingested stamp
-	assigns       map[ids.MsgID]uint64                  // sequencer order: msg -> global seq
-	byGlobal      map[uint64]ids.MsgID                  // inverse of assigns
-	nextGlobal    uint64                                // sequencer only: next global to hand out
-	delGlobal     uint64                                // last delivered global seq
-	assignHigh    uint64                                // sequencer only: highest global assigned
-	announcedHigh uint64                                // sequencer only: highest global put on the wire
-	announceSeq   map[ids.MsgID]uint64                  // sequencer only: own seq that first carried each assign
-	ackMatrix     map[ids.ProcessID]map[ids.ProcessID]uint64
+	midx          *memberIndex           // position table of the installed view (nil while joining)
+	delivered     []uint64               // contiguous delivered per member position
+	recvContig    []uint64               // contiguous ingested per member position
+	stash         []map[uint64]*dataMsg  // out-of-order buffer per member position
+	pending       map[ids.MsgID]*dataMsg // ingested, not yet delivered
+	lastStamp     []vclock.Stamp         // greatest contiguously-ingested stamp per position
+	assigns       map[ids.MsgID]uint64   // sequencer order: msg -> global seq
+	ring          globalRing             // inverse of assigns, indexed by global seq
+	nextGlobal    uint64                 // sequencer only: next global to hand out
+	delGlobal     uint64                 // last delivered global seq
+	assignHigh    uint64                 // sequencer only: highest global assigned
+	announcedHigh uint64                 // sequencer only: highest global put on the wire
+	announceSeq   map[ids.MsgID]uint64   // sequencer only: own seq that first carried each assign
+	ackMat        []uint64               // n×n acknowledgement matrix, row-major [from][sender]
 	store         map[ids.MsgID]*dataMsg // unstable messages retained for flush/resend
-	stableSeq     map[ids.ProcessID]uint64
-	maxAppStamp   vclock.Stamp // greatest application stamp ingested from others
+	stableSeq     []uint64               // per-position stability floor (min over ackMat columns)
+	maxAppStamp   vclock.Stamp           // greatest application stamp ingested from others
+	seqLeader     bool                   // this member is the view's sequencer (OrderSequencer only)
+
+	// Delivery queues (see mindex.go): the loop pops deliverable
+	// messages in O(log n) instead of re-sorting the pending set on
+	// every attempt. deliverQ holds all pending messages under the
+	// symmetric and causal orders, and the pending nulls under the
+	// sequencer order (application messages there are indexed by the
+	// global-sequence ring instead). assignQ holds the sequencer
+	// leader's not-yet-assigned application messages. scratch is the
+	// reusable pop buffer for scan-and-push-back passes.
+	deliverQ stampHeap
+	assignQ  stampHeap
+	scratch  []*dataMsg
 	// batchBuf holds this member's data messages queued for the next batch
 	// flush (cfg.Batch only). Queued messages are already self-ingested and
 	// in the store, so a view change can simply drop the buffer: the flush
@@ -114,6 +131,17 @@ type Group struct {
 var DebugCounters struct {
 	App, Null, OrderNull, AckNull, TimeSilenceNull, Resend, Batches atomic.Int64
 }
+
+// Test-only instrumentation of the delivery loop (nil in production).
+// The delivery-equivalence property tests install these to compare every
+// ordering decision of the indexed machinery against a reference
+// re-implementation of the pre-index scan+sort algorithm; both run with
+// g.mu held. Install before any node is created and clear only after
+// every node has closed.
+var (
+	testOrderPreStep func(g *Group)
+	testOrderChoice  func(g *Group, chosen *dataMsg)
+)
 
 // flushCoord is the coordinator-side state of one membership change round.
 type flushCoord struct {
@@ -320,21 +348,17 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 		Sender:        g.me,
 		Seq:           g.sendSeq,
 		Lamport:       g.node.clock.Next(),
-		VC:            g.sendVCLocked(g.sendSeq),
 		Null:          null,
 		Payload:       payload,
+		senderIdx:     g.midx.me,
 	}
-	if g.cfg.Order == OrderSequencer && g.leaderOf(g.view.Members) == g.me {
+	m.VC = g.sendVCLocked(m, g.sendSeq)
+	if g.seqLeader {
 		if !null {
 			g.assignLocked(m.msgID())
 		}
-		m.Assigns = g.assignSnapshotLocked()
+		m.Assigns = g.assignDeltaLocked(m.Seq)
 		g.announcedHigh = g.assignHigh
-		for _, a := range m.Assigns {
-			if _, ok := g.announceSeq[a.msgID()]; !ok {
-				g.announceSeq[a.msgID()] = m.Seq
-			}
-		}
 	}
 	if g.cfg.ProcessingCost > 0 && !g.batchingLocked() {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-message processing cost (paper's overload experiments); zero in production configs
@@ -344,7 +368,7 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 	// Snapshot the acknowledgement vector after self-ingestion so the
 	// message advertises its own receipt; without that, a sender's first
 	// and only message can never stabilise at the other members.
-	m.Acks = g.ackSnapshotLocked()
+	m.Acks = g.ackSnapshotLocked(m)
 	g.store[m.msgID()] = m
 	if g.batchingLocked() {
 		g.queueBatchLocked(m)
@@ -425,27 +449,35 @@ func (g *Group) sendLocked(to ids.ProcessID, enc []byte) {
 	_ = g.node.ep.Send(to, enc) //lint:ok errdrop best-effort: the resend machinery in tick.go recovers lost protocol messages
 }
 
-// sendVCLocked snapshots the causal context of a new send.
-func (g *Group) sendVCLocked(seq uint64) map[ids.ProcessID]uint64 {
-	vc := make(map[ids.ProcessID]uint64, len(g.delivered)+1)
-	for p, n := range g.delivered {
-		if n > 0 {
-			vc[p] = n
-		}
+// sendVCLocked snapshots the causal context of a new send into the
+// message's inline counter block: a straight copy of the dense delivered
+// vector plus the message's own sequence number, with no per-send map or
+// heap allocation for typical view sizes.
+func (g *Group) sendVCLocked(m *dataMsg, seq uint64) []uint64 {
+	n := g.midx.n()
+	var vc []uint64
+	if n <= maxInlineMembers {
+		vc = m.counts[0:n:n]
+	} else {
+		vc = make([]uint64, n)
 	}
-	vc[g.me] = seq
+	copy(vc, g.delivered)
+	vc[g.midx.me] = seq
 	return vc
 }
 
 // ackSnapshotLocked snapshots the contiguous-received counters (the
-// stability acknowledgement vector piggybacked on every message).
-func (g *Group) ackSnapshotLocked() map[ids.ProcessID]uint64 {
-	acks := make(map[ids.ProcessID]uint64, len(g.recvContig))
-	for p, n := range g.recvContig {
-		if n > 0 {
-			acks[p] = n
-		}
+// stability acknowledgement vector piggybacked on every message) into the
+// second half of the message's inline counter block.
+func (g *Group) ackSnapshotLocked(m *dataMsg) []uint64 {
+	n := g.midx.n()
+	var acks []uint64
+	if n <= maxInlineMembers {
+		acks = m.counts[maxInlineMembers : maxInlineMembers+n : maxInlineMembers+n]
+	} else {
+		acks = make([]uint64, n)
 	}
+	copy(acks, g.recvContig)
 	return acks
 }
 
@@ -456,20 +488,55 @@ func (g *Group) assignLocked(id ids.MsgID) {
 		return
 	}
 	g.assigns[id] = g.nextGlobal
-	g.byGlobal[g.nextGlobal] = id
+	g.ring.set(g.nextGlobal, id)
 	if g.nextGlobal > g.assignHigh {
 		g.assignHigh = g.nextGlobal
 	}
 	g.nextGlobal++
 }
 
-// assignSnapshotLocked lists the live (un-GCed) ordering decisions.
+// assignSnapshotLocked lists every live (un-GCed) ordering decision, in
+// global order straight off the ring. Used by the flush protocol only:
+// the commit's recovery cut must carry the full table so every surviving
+// member can place the unstable messages, however little each one heard.
 func (g *Group) assignSnapshotLocked() []assign {
-	out := make([]assign, 0, len(g.assigns))
-	for id, global := range g.assigns {
-		out = append(out, assign{Sender: id.Sender, Seq: id.Seq, Global: global})
+	if g.ring.live == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Global < out[j].Global })
+	out := make([]assign, 0, g.ring.live)
+	g.ring.each(func(global uint64, id ids.MsgID) {
+		out = append(out, assign{Sender: id.Sender, Seq: id.Seq, Global: global})
+	})
+	return out
+}
+
+// assignDeltaLocked lists the ordering decisions made since the last
+// announcement — globals in (announcedHigh, assignHigh], read straight
+// off the ring. Each decision is put on the wire exactly once: followers
+// ingest a sender's messages contiguously (losses are repaired by resend,
+// and view changes recover the full table through the flush), so the
+// first carry is the only one that can ever inform anyone. The carrying
+// sequence number is recorded so the decision is not garbage-collected
+// before that message has stabilised everywhere (seq is the sequence
+// number the caller is about to send). This is the paper's explicit ORDER
+// multicast: new decisions only, not a rolling table — announcing the
+// whole live table made every message O(unstable-window) to encode and
+// decode, which is what melted the sequencer under pipelined load.
+func (g *Group) assignDeltaLocked(seq uint64) []assign {
+	if g.assignHigh <= g.announcedHigh {
+		return nil
+	}
+	out := make([]assign, 0, g.assignHigh-g.announcedHigh)
+	for global := g.announcedHigh + 1; global <= g.assignHigh; global++ {
+		id, ok := g.ring.get(global)
+		if !ok {
+			continue
+		}
+		out = append(out, assign{Sender: id.Sender, Seq: id.Seq, Global: global})
+		if _, announced := g.announceSeq[id]; !announced {
+			g.announceSeq[id] = seq
+		}
+	}
 	return out
 }
 
@@ -531,37 +598,42 @@ func (g *Group) acceptDataLocked(m *dataMsg, charge bool) bool {
 	if m.ViewSeq != g.view.Seq || m.ViewInstaller != g.view.Installer {
 		return false // stale or foreign-view traffic
 	}
-	if !g.view.Contains(m.Sender) {
+	si := g.midx.posOf(m.Sender)
+	if si < 0 {
 		return false
 	}
+	if len(m.VC) > g.midx.n() || len(m.Acks) > g.midx.n() {
+		return false // corrupt or hostile frame: vectors longer than the view
+	}
+	m.senderIdx = si
 	if charge && g.cfg.ProcessingCost > 0 {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-message processing cost (paper's overload experiments); zero in production configs
 	}
 	g.node.clock.Witness(m.Lamport)
-	g.mergeAcksLocked(m.Sender, m.Acks)
+	g.mergeAcksLocked(si, m.Acks)
 	g.mergeAssignsLocked(m.Assigns)
 
 	switch {
-	case m.Seq <= g.recvContig[m.Sender]:
+	case m.Seq <= g.recvContig[si]:
 		// Duplicate (resend); acks/assigns already merged above.
-	case m.Seq == g.recvContig[m.Sender]+1:
+	case m.Seq == g.recvContig[si]+1:
 		g.ingestContiguousLocked(m)
 		g.store[m.msgID()] = m
 		// Drain any stashed successors.
 		for {
-			next, ok := g.stash[m.Sender][g.recvContig[m.Sender]+1]
+			next, ok := g.stash[si][g.recvContig[si]+1]
 			if !ok {
 				break
 			}
-			delete(g.stash[m.Sender], next.Seq)
+			delete(g.stash[si], next.Seq)
 			g.ingestContiguousLocked(next)
 			g.store[next.msgID()] = next
 		}
 	default:
-		if g.stash[m.Sender] == nil {
-			g.stash[m.Sender] = make(map[uint64]*dataMsg)
+		if g.stash[si] == nil {
+			g.stash[si] = make(map[uint64]*dataMsg)
 		}
-		g.stash[m.Sender][m.Seq] = m
+		g.stash[si][m.Seq] = m
 	}
 	return true
 }
@@ -591,36 +663,38 @@ func (g *Group) postIngestLocked() {
 // (the sequencer, say) and went quiet would otherwise stall everyone else
 // behind the heard-past condition until its next time-silence beat.
 func (g *Group) needAckLocked() bool {
-	return g.lastStamp[g.me].Less(g.maxAppStamp)
+	return g.lastStamp[g.midx.me].Less(g.maxAppStamp)
 }
 
 // ingestContiguousLocked accepts the next in-sequence message from a
-// sender into the pending set and advances the ordering bookkeeping.
+// sender into the pending set, advances the ordering bookkeeping and
+// enqueues the message on the delivery (or assignment) queue it will be
+// popped from.
 func (g *Group) ingestContiguousLocked(m *dataMsg) {
-	g.recvContig[m.Sender] = m.Seq
+	si := m.senderIdx
+	g.recvContig[si] = m.Seq
 	g.pending[m.msgID()] = m
-	if st := m.stamp(); g.lastStamp[m.Sender].Less(st) {
-		g.lastStamp[m.Sender] = st
+	if st := m.stamp(); g.lastStamp[si].Less(st) {
+		g.lastStamp[si] = st
 	}
-	if !m.Null && m.Sender != g.me && g.maxAppStamp.Less(m.stamp()) {
+	if !m.Null && si != g.midx.me && g.maxAppStamp.Less(m.stamp()) {
 		g.maxAppStamp = m.stamp()
 	}
-	if g.ackMatrix[g.me] == nil {
-		g.ackMatrix[g.me] = make(map[ids.ProcessID]uint64)
+	g.ackMat[g.midx.me*g.midx.n()+si] = m.Seq
+	if g.cfg.Order != OrderSequencer || m.Null {
+		// Symmetric and causal delivery pop everything from the stamp
+		// heap; under the sequencer order only nulls do (application
+		// messages are reached through the global-sequence ring).
+		g.deliverQ.push(m)
+	} else if g.seqLeader {
+		g.assignQ.push(m)
 	}
-	g.ackMatrix[g.me][m.Sender] = g.recvContig[m.Sender]
 }
 
-// mergeAcksLocked folds a member's received-counters into the matrix.
-func (g *Group) mergeAcksLocked(from ids.ProcessID, acks map[ids.ProcessID]uint64) {
-	if len(acks) == 0 {
-		return
-	}
-	row := g.ackMatrix[from]
-	if row == nil {
-		row = make(map[ids.ProcessID]uint64, len(acks))
-		g.ackMatrix[from] = row
-	}
+// mergeAcksLocked folds a member's received-counters into the matrix row
+// of the member at position from.
+func (g *Group) mergeAcksLocked(from int, acks []uint64) {
+	row := g.ackMat[from*g.midx.n():]
 	for s, n := range acks {
 		if n > row[s] {
 			row[s] = n
@@ -634,7 +708,7 @@ func (g *Group) mergeAssignsLocked(as []assign) {
 		id := a.msgID()
 		if _, ok := g.assigns[id]; !ok {
 			g.assigns[id] = a.Global
-			g.byGlobal[a.Global] = id
+			g.ring.set(a.Global, id)
 		}
 	}
 }
@@ -642,52 +716,51 @@ func (g *Group) mergeAssignsLocked(as []assign) {
 // compactStableLocked recomputes per-sender stability and garbage-collects
 // the retained-message store and the ordering table.
 func (g *Group) compactStableLocked() {
-	for _, s := range g.view.Members {
-		min := uint64(0)
-		for i, m := range g.view.Members {
-			row := g.ackMatrix[m]
-			got := uint64(0)
-			if row != nil {
-				got = row[s]
-			}
-			if i == 0 || got < min {
+	n := g.midx.n()
+	for s := 0; s < n; s++ {
+		min := g.ackMat[s]
+		for q := 1; q < n; q++ {
+			if got := g.ackMat[q*n+s]; got < min {
 				min = got
 			}
 		}
 		g.stableSeq[s] = min
 	}
-	sequencer := g.cfg.Order == OrderSequencer && g.leaderOf(g.view.Members) == g.me
-	for id := range g.store {
-		if id.Seq <= g.stableSeq[id.Sender] && id.Seq <= g.delivered[id.Sender] {
-			delete(g.store, id)
-			global, ok := g.assigns[id]
-			if !ok {
+	for id, m := range g.store {
+		si := m.senderIdx
+		if si < 0 || id.Seq > g.stableSeq[si] || id.Seq > g.delivered[si] {
+			continue
+		}
+		delete(g.store, id)
+		global, ok := g.assigns[id]
+		if !ok {
+			continue
+		}
+		if g.seqLeader {
+			// The ordering decision must outlive the message: drop it
+			// only once a message of ours that announced it has been
+			// received by everyone, or the other members would never
+			// learn the message's position in the total order.
+			aseq, announced := g.announceSeq[id]
+			if !announced || aseq > g.stableSeq[g.midx.me] {
 				continue
 			}
-			if sequencer {
-				// The ordering decision must outlive the message: drop it
-				// only once a message of ours that announced it has been
-				// received by everyone, or the other members would never
-				// learn the message's position in the total order.
-				aseq, announced := g.announceSeq[id]
-				if !announced || aseq > g.stableSeq[g.me] {
-					continue
-				}
-				delete(g.announceSeq, id)
-			}
-			delete(g.assigns, id)
-			delete(g.byGlobal, global)
+			delete(g.announceSeq, id)
 		}
+		delete(g.assigns, id)
+		g.ring.del(global)
 	}
+	g.ring.compact(g.delGlobal)
 }
 
 // causalOKLocked reports whether m's causal context is satisfied.
 func (g *Group) causalOKLocked(m *dataMsg) bool {
-	if m.Seq != g.delivered[m.Sender]+1 {
+	si := m.senderIdx
+	if m.Seq != g.delivered[si]+1 {
 		return false
 	}
 	for q, n := range m.VC {
-		if q == m.Sender {
+		if q == si {
 			continue
 		}
 		if n > g.delivered[q] {
@@ -709,8 +782,14 @@ func (g *Group) tryDeliverLocked() {
 		return
 	}
 	for {
+		if testOrderPreStep != nil {
+			testOrderPreStep(g)
+		}
 		g.sequenceLocked()
 		m := g.nextDeliverableLocked()
+		if testOrderChoice != nil {
+			testOrderChoice(g, m)
+		}
 		if m == nil {
 			if g.unannouncedAssignsLocked() {
 				// emitDataLocked advances announcedHigh, so this branch
@@ -729,99 +808,148 @@ func (g *Group) tryDeliverLocked() {
 // decisions for messages sent by other members that it has not yet put on
 // the wire (its own messages carry their assignment at send time).
 func (g *Group) unannouncedAssignsLocked() bool {
-	if g.cfg.Order != OrderSequencer || g.leaderOf(g.view.Members) != g.me {
-		return false
-	}
-	return g.assignHigh > g.announcedHigh
+	return g.seqLeader && g.assignHigh > g.announcedHigh
 }
 
 // sequenceLocked is the sequencer's ordering step: assign global sequence
 // numbers, in stamp order, to causally-deliverable unassigned application
 // messages. Returns whether any new assignment was made.
 func (g *Group) sequenceLocked() bool {
-	if g.cfg.Order != OrderSequencer || g.leaderOf(g.view.Members) != g.me {
+	if !g.seqLeader || g.assignQ.len() == 0 {
 		return false
 	}
-	var candidates []*dataMsg
-	for _, m := range g.pending {
-		if m.Null {
-			continue
-		}
-		if _, ok := g.assigns[m.msgID()]; ok {
-			continue
-		}
-		candidates = append(candidates, m)
-	}
-	if len(candidates) == 0 {
-		return false
-	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].stamp().Less(candidates[j].stamp()) })
+	// Pop the waiting application messages in stamp order. Causal
+	// readiness cannot change mid-pass (nothing is delivered here), so
+	// each causally-deliverable message gets the next global as it is
+	// popped — the same stamp-ordered assignment the old full scan made —
+	// and the blocked rest go back on the queue for the next pass.
 	made := false
-	for _, m := range candidates {
+	for g.assignQ.len() > 0 {
+		m := g.assignQ.pop()
+		if _, ok := g.assigns[m.msgID()]; ok {
+			continue // assigned while queued (own send, or a merged decision)
+		}
 		if g.causalOKLocked(m) {
 			g.assignLocked(m.msgID())
 			made = true
+			continue
 		}
+		g.scratch = append(g.scratch, m)
 	}
+	g.pushBackLocked(&g.assignQ)
 	return made
 }
 
 // nextDeliverableLocked picks the unique next message to deliver, or nil.
 func (g *Group) nextDeliverableLocked() *dataMsg {
-	var candidates []*dataMsg
-	for _, m := range g.pending {
-		candidates = append(candidates, m)
-	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].stamp().Less(candidates[j].stamp()) })
-
 	switch g.cfg.Order {
 	case OrderCausal:
-		for _, m := range candidates {
-			if g.causalOKLocked(m) {
-				return m
-			}
-		}
+		return g.popCausalLocked()
 	case OrderSymmetric:
-		for _, m := range candidates {
-			if !g.causalOKLocked(m) {
-				if m.Null {
-					continue
-				}
-				// The stamp-minimal application message is blocked on a
-				// causal predecessor that must arrive first.
-				return nil
-			}
-			if m.Null {
-				return m // nulls bypass the total order
-			}
-			if !g.allHeardPastLocked(m) {
-				return nil // total order blocked until everyone spoke
-			}
-			if g.domain != nil && !g.domain.clear(g.id, m.stamp()) {
-				return nil // a sibling group may still deliver earlier
-			}
-			return m
-		}
+		return g.popSymmetricLocked()
 	case OrderSequencer:
-		for _, m := range candidates {
-			if !g.causalOKLocked(m) {
+		return g.popSequencerLocked()
+	}
+	return nil
+}
+
+// popCausalLocked pops the stamp-minimal causally-deliverable pending
+// message; blocked messages popped on the way go back on the queue.
+func (g *Group) popCausalLocked() *dataMsg {
+	var chosen *dataMsg
+	for g.deliverQ.len() > 0 {
+		m := g.deliverQ.pop()
+		if g.causalOKLocked(m) {
+			chosen = m
+			break
+		}
+		g.scratch = append(g.scratch, m)
+	}
+	g.pushBackLocked(&g.deliverQ)
+	return chosen
+}
+
+// popSymmetricLocked pops the next message under the symmetric total
+// order: the stamp-minimal pending message, except that causally-blocked
+// nulls are scanned past (they cannot gate the total order).
+func (g *Group) popSymmetricLocked() *dataMsg {
+	var chosen *dataMsg
+	for g.deliverQ.len() > 0 {
+		m := g.deliverQ.pop()
+		g.scratch = append(g.scratch, m) // provisionally back on the queue
+		if !g.causalOKLocked(m) {
+			if m.Null {
 				continue
 			}
-			if m.Null {
-				return m
+			// The stamp-minimal application message waits on a causal
+			// predecessor that must arrive first.
+			break
+		}
+		if !m.Null {
+			if !g.allHeardPastLocked(m) {
+				break // total order blocked until everyone spoke
 			}
+			if g.domain != nil && !g.domain.clear(g.id, m.stamp()) {
+				break // a sibling group may still deliver earlier
+			}
+		}
+		chosen = m
+		g.scratch = g.scratch[:len(g.scratch)-1] // keep it popped
+		break
+	}
+	g.pushBackLocked(&g.deliverQ)
+	return chosen
+}
+
+// popSequencerLocked picks the next message under the sequencer total
+// order: whichever of (a) the stamp-minimal causally-deliverable null and
+// (b) the application message holding the next global sequence number
+// comes first in stamp order. (b) is an O(1) ring load; the old code
+// re-sorted the whole pending set to find both.
+func (g *Group) popSequencerLocked() *dataMsg {
+	var next *dataMsg
+	if id, ok := g.ring.get(g.delGlobal + 1); ok {
+		if m := g.pending[id]; m != nil && g.causalOKLocked(m) && g.allHeardPastLocked(m) {
 			// NewTop is block-based: besides the sequencer's ordering
 			// decision, delivery requires traffic from every member past
 			// the message, which is what keeps all functioning members
 			// atomically in step (and what makes group membership costly
 			// for far-away members).
-			if global, ok := g.assigns[m.msgID()]; ok && global == g.delGlobal+1 &&
-				g.allHeardPastLocked(m) {
-				return m
-			}
+			next = m
 		}
 	}
-	return nil
+	var null *dataMsg
+	for g.deliverQ.len() > 0 {
+		m := g.deliverQ.pop()
+		if g.causalOKLocked(m) {
+			null = m
+			break
+		}
+		g.scratch = append(g.scratch, m)
+	}
+	var chosen *dataMsg
+	switch {
+	case null == nil:
+		chosen = next
+	case next == nil || null.stamp().Less(next.stamp()):
+		chosen = null // nulls bypass the total order
+	default:
+		g.scratch = append(g.scratch, null) // next wins; the null stays queued
+		chosen = next
+	}
+	g.pushBackLocked(&g.deliverQ)
+	return chosen
+}
+
+// pushBackLocked returns the scratch buffer's messages to a queue and
+// clears the buffer (nil-ing entries so it does not pin delivered
+// messages for the garbage collector).
+func (g *Group) pushBackLocked(q *stampHeap) {
+	for i, m := range g.scratch {
+		q.push(m)
+		g.scratch[i] = nil
+	}
+	g.scratch = g.scratch[:0]
 }
 
 // allHeardPastLocked reports whether every other member has been heard
@@ -829,8 +957,9 @@ func (g *Group) nextDeliverableLocked() *dataMsg {
 // message can still arrive.
 func (g *Group) allHeardPastLocked(m *dataMsg) bool {
 	st := m.stamp()
-	for _, q := range g.view.Members {
-		if q == g.me || q == m.Sender {
+	me, si := g.midx.me, m.senderIdx
+	for q := range g.lastStamp {
+		if q == me || q == si {
 			continue
 		}
 		if !st.Less(g.lastStamp[q]) {
@@ -844,7 +973,7 @@ func (g *Group) allHeardPastLocked(m *dataMsg) bool {
 func (g *Group) deliverLocked(m *dataMsg) {
 	id := m.msgID()
 	delete(g.pending, id)
-	g.delivered[m.Sender] = m.Seq
+	g.delivered[m.senderIdx] = m.Seq
 	if global, ok := g.assigns[id]; ok && !m.Null {
 		if global == g.delGlobal+1 {
 			g.delGlobal = global
@@ -917,22 +1046,27 @@ func (g *Group) installViewLocked(v View) {
 		g.maxViewSeq = v.Seq
 	}
 	g.sendSeq = 0
-	g.delivered = make(map[ids.ProcessID]uint64, len(v.Members))
-	g.recvContig = make(map[ids.ProcessID]uint64, len(v.Members))
-	g.stash = make(map[ids.ProcessID]map[uint64]*dataMsg)
+	n := len(v.Members)
+	g.midx = buildMemberIndex(g.view.Members, g.me)
+	g.delivered = make([]uint64, n)
+	g.recvContig = make([]uint64, n)
+	g.stash = make([]map[uint64]*dataMsg, n)
 	g.pending = make(map[ids.MsgID]*dataMsg)
-	g.lastStamp = make(map[ids.ProcessID]vclock.Stamp, len(v.Members))
+	g.lastStamp = make([]vclock.Stamp, n)
 	g.assigns = make(map[ids.MsgID]uint64)
-	g.byGlobal = make(map[uint64]ids.MsgID)
+	g.ring.reset()
 	g.nextGlobal = 1
 	g.delGlobal = 0
 	g.assignHigh = 0
 	g.announcedHigh = 0
 	g.announceSeq = make(map[ids.MsgID]uint64)
-	g.ackMatrix = make(map[ids.ProcessID]map[ids.ProcessID]uint64, len(v.Members))
+	g.ackMat = make([]uint64, n*n)
 	g.store = make(map[ids.MsgID]*dataMsg)
-	g.stableSeq = make(map[ids.ProcessID]uint64, len(v.Members))
+	g.stableSeq = make([]uint64, n)
 	g.maxAppStamp = vclock.Stamp{}
+	g.seqLeader = g.cfg.Order == OrderSequencer && g.leaderOf(g.view.Members) == g.me
+	g.deliverQ.reset()
+	g.assignQ.reset()
 	// Any messages still queued for a batch flush belonged to the old
 	// view; they are already in that view's store, so the flush protocol
 	// recovered (or declared lost) every one of them through the cut.
@@ -1077,29 +1211,36 @@ func (g *Group) DebugDump() string {
 	defer g.mu.Unlock()
 	s := fmt.Sprintf("%s@%s state=%d view=%v delGlobal=%d nextGlobal=%d pending=%d store=%d\n",
 		g.id, g.me, g.state, g.view.Members, g.delGlobal, g.nextGlobal, len(g.pending), len(g.store))
+	if g.midx == nil {
+		return s // joining: no per-view state yet
+	}
 	s += fmt.Sprintf("  delivered=%v\n  recvContig=%v\n", g.delivered, g.recvContig)
 	for q, st := range g.stash {
 		if len(st) > 0 {
-			s += fmt.Sprintf("  stash[%s]=%d\n", q, len(st))
+			s += fmt.Sprintf("  stash[%s]=%d\n", g.midx.members[q], len(st))
 		}
 	}
 	byG := make([]string, 0, 8)
 	for global := g.delGlobal + 1; global <= g.delGlobal+4; global++ {
-		id, ok := g.byGlobal[global]
+		id, ok := g.ring.get(global)
 		if !ok {
 			byG = append(byG, fmt.Sprintf("g%d=?", global))
 			continue
 		}
 		m := g.pending[id]
 		if m == nil {
-			byG = append(byG, fmt.Sprintf("g%d=%v(not-pending,del=%d)", global, id, g.delivered[id.Sender]))
+			del := uint64(0)
+			if si := g.midx.posOf(id.Sender); si >= 0 {
+				del = g.delivered[si]
+			}
+			byG = append(byG, fmt.Sprintf("g%d=%v(not-pending,del=%d)", global, id, del))
 			continue
 		}
 		byG = append(byG, fmt.Sprintf("g%d=%v causal=%v heard=%v vc=%v", global, id, g.causalOKLocked(m), g.allHeardPastLocked(m), m.VC))
 	}
 	s += "  next globals: " + fmt.Sprint(byG) + "\n"
 	for q, st := range g.lastStamp {
-		s += fmt.Sprintf("  lastStamp[%s]=%v\n", q, st)
+		s += fmt.Sprintf("  lastStamp[%s]=%v\n", g.midx.members[q], st)
 	}
 	return s
 }

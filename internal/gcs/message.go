@@ -2,7 +2,6 @@ package gcs
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"newtop/internal/ids"
@@ -42,22 +41,42 @@ type dataMsg struct {
 	Sender        ids.ProcessID
 	Seq           uint64 // per-sender, per-view, starting at 1
 	Lamport       uint64
-	VC            map[ids.ProcessID]uint64 // delivered counts at send time, plus own Seq
-	Null          bool
-	Payload       []byte
+	// VC is the causal context: the sender's delivered counts at send
+	// time (plus its own Seq), keyed by *member position* in the sorted
+	// membership of the message's view. Both ends of an accepted message
+	// share the view identity and therefore the same position table, so
+	// no process identifiers cross the wire for it.
+	VC []uint64
 	// Acks carries the sender's contiguous-received counters for
-	// stability tracking; processed at ingestion.
-	Acks map[ids.ProcessID]uint64
+	// stability tracking, position-keyed like VC; processed at ingestion.
+	Acks    []uint64
+	Null    bool
+	Payload []byte
 	// Assigns carries the sequencer's (current unstable) ordering table;
 	// only the sequencer populates it. Processed at ingestion, which is
 	// what prevents order/data delivery deadlocks.
 	Assigns []assign
 
+	// counts is the inline backing array for VC and Acks: views of up to
+	// maxInlineMembers members need no separate allocation for either
+	// vector (VC occupies the first half, Acks the second). Larger views
+	// fall back to heap slices.
+	counts [2 * maxInlineMembers]uint64
+
 	// bornAt is the local build time of this member's own messages; it
 	// never crosses the wire (received copies have the zero value) and
 	// exists so delivery latency can be measured skew-free.
 	bornAt time.Time
+	// senderIdx caches the sender's member-index position once the
+	// message is accepted into a view (-1 before); local-only.
+	senderIdx int
 }
+
+// maxInlineMembers is the view size up to which a dataMsg carries its
+// vector-clock and acknowledgement counters inline (the paper's
+// evaluation tops out at 9-member groups; 10 keeps that span
+// allocation-free with headroom).
+const maxInlineMembers = 10
 
 func (m *dataMsg) msgID() ids.MsgID { return ids.MsgID{Sender: m.Sender, Seq: m.Seq} }
 
@@ -138,32 +157,32 @@ func getProcs(r *wire.Reader) []ids.ProcessID {
 	return out
 }
 
-// putCounts encodes a process→counter map in sorted key order so encoding
-// is deterministic.
-func putCounts(w *wire.Writer, m map[ids.ProcessID]uint64) {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, string(k))
-	}
-	sort.Strings(keys)
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		w.String(k)
-		w.Uvarint(m[ids.ProcessID(k)])
+// putCounts encodes a position-keyed counter vector: a length followed by
+// the bare counters. The member index fixes the key order, so encoding is
+// deterministic with no keys and no sorting on the wire.
+func putCounts(w *wire.Writer, xs []uint64) {
+	w.Uvarint(uint64(len(xs)))
+	for _, v := range xs {
+		w.Uvarint(v)
 	}
 }
 
-func getCounts(r *wire.Reader) map[ids.ProcessID]uint64 {
+// getCounts decodes a counter vector into buf when it fits (the caller
+// passes a zero-length slice over the message's inline backing array),
+// falling back to the heap for oversized views.
+func getCounts(r *wire.Reader, buf []uint64) []uint64 {
 	n := r.Uvarint()
-	if r.Err() != nil || n > uint64(r.Remaining()) {
+	if r.Err() != nil || n == 0 || n > uint64(r.Remaining()) {
 		return nil
 	}
-	m := make(map[ids.ProcessID]uint64, n)
-	for i := uint64(0); i < n; i++ {
-		k := ids.ProcessID(r.String())
-		m[k] = r.Uvarint()
+	out := buf
+	if uint64(cap(out)) < n {
+		out = make([]uint64, 0, n)
 	}
-	return m
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.Uvarint())
+	}
+	return out
 }
 
 func putAssigns(w *wire.Writer, as []assign) {
@@ -206,19 +225,23 @@ func putData(w *wire.Writer, m *dataMsg) {
 }
 
 func getData(r *wire.Reader) *dataMsg {
-	return &dataMsg{
+	m := &dataMsg{
 		Group:         ids.GroupID(r.String()),
 		ViewSeq:       ids.ViewSeq(r.Uvarint()),
 		ViewInstaller: ids.ProcessID(r.String()),
 		Sender:        ids.ProcessID(r.String()),
 		Seq:           r.Uvarint(),
 		Lamport:       r.Uvarint(),
-		VC:            getCounts(r),
-		Null:          r.Bool(),
-		Payload:       r.Blob(),
-		Acks:          getCounts(r),
-		Assigns:       getAssigns(r),
+		senderIdx:     -1,
 	}
+	m.VC = getCounts(r, m.counts[:0:maxInlineMembers])
+	m.Null = r.Bool()
+	// The payload is retained past the frame (pending, store, delivery to
+	// the application), so it must be the copying Blob.
+	m.Payload = r.Blob()
+	m.Acks = getCounts(r, m.counts[maxInlineMembers:maxInlineMembers:2*maxInlineMembers])
+	m.Assigns = getAssigns(r)
+	return m
 }
 
 func putDataList(w *wire.Writer, msgs []*dataMsg) {
@@ -240,9 +263,11 @@ func getDataList(r *wire.Reader) []*dataMsg {
 	return out
 }
 
-// encodeMessage serialises any of the GCS message structs.
+// encodeMessage serialises any of the GCS message structs. The writer is
+// pooled: the returned slice is a detached exact-size copy, safe to hand
+// to the transport (which retains payloads by reference).
 func encodeMessage(msg any) []byte {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	switch m := msg.(type) {
 	case *dataMsg:
 		w.Byte(kindData)
@@ -293,7 +318,9 @@ func encodeMessage(msg any) []byte {
 		// Unreachable by construction; encode nothing decodable.
 		w.Byte(0)
 	}
-	return w.Bytes()
+	enc := w.Detach()
+	wire.PutWriter(w)
+	return enc
 }
 
 // decodeMessage parses one GCS payload, returning one of the message

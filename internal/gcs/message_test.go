@@ -21,20 +21,20 @@ func randomData(r *rand.Rand) *dataMsg {
 		Lamport:       r.Uint64() % 100000,
 		Null:          r.Intn(2) == 0,
 	}
-	if n := r.Intn(4); n > 0 {
-		m.VC = make(map[ids.ProcessID]uint64, n)
-		for i := 0; i < n; i++ {
-			m.VC[procs[r.Intn(len(procs))]] = r.Uint64() % 500
+	if n := r.Intn(5); n > 0 {
+		m.VC = make([]uint64, n)
+		for i := range m.VC {
+			m.VC[i] = r.Uint64() % 500
 		}
 	}
 	if n := r.Intn(20); n > 0 {
 		m.Payload = make([]byte, n)
 		r.Read(m.Payload)
 	}
-	if n := r.Intn(3); n > 0 {
-		m.Acks = make(map[ids.ProcessID]uint64, n)
-		for i := 0; i < n; i++ {
-			m.Acks[procs[r.Intn(len(procs))]] = r.Uint64() % 500
+	if n := r.Intn(5); n > 0 {
+		m.Acks = make([]uint64, n)
+		for i := range m.Acks {
+			m.Acks[i] = r.Uint64() % 500
 		}
 	}
 	for i := 0; i < r.Intn(4); i++ {
@@ -59,13 +59,13 @@ func eqData(a, b *dataMsg) bool {
 	if len(a.VC) != len(b.VC) || len(a.Acks) != len(b.Acks) || len(a.Assigns) != len(b.Assigns) {
 		return false
 	}
-	for k, v := range a.VC {
-		if b.VC[k] != v {
+	for i, v := range a.VC {
+		if b.VC[i] != v {
 			return false
 		}
 	}
-	for k, v := range a.Acks {
-		if b.Acks[k] != v {
+	for i, v := range a.Acks {
+		if b.Acks[i] != v {
 			return false
 		}
 	}

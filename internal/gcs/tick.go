@@ -140,14 +140,12 @@ func (g *Group) resendLocked(now time.Time) {
 	if g.sendSeq == 0 {
 		return
 	}
-	for _, q := range g.view.Members {
+	n := g.midx.n()
+	for qi, q := range g.view.Members {
 		if q == g.me {
 			continue
 		}
-		known := uint64(0)
-		if row := g.ackMatrix[q]; row != nil {
-			known = row[g.me]
-		}
+		known := g.ackMat[qi*n+g.midx.me]
 		if known >= g.sendSeq {
 			delete(g.ackMark, q)
 			continue

@@ -81,6 +81,7 @@ func pathIn(paths ...string) func(string) bool {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WireSym(),
+		WirePool(),
 		LockBlock(),
 		DetClock(),
 		GoOrphan(),

@@ -99,6 +99,7 @@ func runFixture(t *testing.T, name string, a *Analyzer) {
 }
 
 func TestWireSym(t *testing.T)   { runFixture(t, "wiresym", WireSym()) }
+func TestWirePool(t *testing.T)  { runFixture(t, "wirepool", WirePool()) }
 func TestLockBlock(t *testing.T) { runFixture(t, "lockblock", LockBlock()) }
 func TestDetClock(t *testing.T)  { runFixture(t, "detclock", DetClock()) }
 func TestGoOrphan(t *testing.T)  { runFixture(t, "goorphan", GoOrphan()) }
@@ -127,8 +128,8 @@ func TestDirectiveMalformed(t *testing.T) {
 // TestAnalyzersNamed checks rule-subset selection and its error path.
 func TestAnalyzersNamed(t *testing.T) {
 	all, err := AnalyzersNamed("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("AnalyzersNamed(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("AnalyzersNamed(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := AnalyzersNamed("wiresym,errdrop")
 	if err != nil || len(two) != 2 {

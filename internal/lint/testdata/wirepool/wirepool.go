@@ -1,0 +1,94 @@
+// Package wirepool is a lint fixture: pooled-writer lifecycles, correct
+// and seeded with use-after-recycle bugs. Expectations live in the
+// `// want` comments.
+package wirepool
+
+import "newtop/internal/wire"
+
+func send(to string, b []byte) error { return nil }
+
+// encodeDetached is the canonical safe shape: detach, recycle, use the
+// independent copy. No findings.
+func encodeDetached() []byte {
+	w := wire.GetWriter()
+	w.Uvarint(7)
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
+}
+
+// useThenPut keeps the writer alive across the whole use. No findings.
+func useThenPut() {
+	w := wire.GetWriter()
+	w.String("hello")
+	_ = send("a", w.Bytes())
+	wire.PutWriter(w)
+}
+
+// writeAfterPut keeps encoding into a recycled buffer.
+func writeAfterPut() {
+	w := wire.GetWriter()
+	w.Uvarint(1)
+	wire.PutWriter(w)
+	w.Uvarint(2) // want wirepool "use of pooled writer w after wire.PutWriter"
+}
+
+// bytesEscape sends a Bytes alias after the writer went back to the pool.
+func bytesEscape() {
+	w := wire.GetWriter()
+	w.String("payload")
+	frame := w.Bytes()
+	wire.PutWriter(w)
+	_ = send("b", frame) // want wirepool "aliases the recycled writer's Bytes"
+}
+
+// doublePut recycles twice; the second hand-back is itself a use.
+func doublePut() {
+	w := wire.GetWriter()
+	w.Byte(1)
+	wire.PutWriter(w)
+	wire.PutWriter(w) // want wirepool "use of pooled writer w after wire.PutWriter"
+}
+
+// rebind puts the old writer back and starts over with a fresh one; uses
+// after the rebind are clean.
+func rebind() []byte {
+	w := wire.GetWriter()
+	w.Byte(1)
+	wire.PutWriter(w)
+	w = wire.GetWriter()
+	w.Byte(2)
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
+}
+
+// branchPut recycles on an early-exit path only; the fall-through use is
+// on a different path and stays clean.
+func branchPut(fail bool) []byte {
+	w := wire.GetWriter()
+	w.Byte(3)
+	if fail {
+		wire.PutWriter(w)
+		return nil
+	}
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
+}
+
+// deferredPut runs at function exit, after every use. No findings.
+func deferredPut() {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.String("x")
+	_ = send("c", w.Bytes())
+}
+
+// annotated shows the escape hatch for a reviewed exception.
+func annotated() {
+	w := wire.GetWriter()
+	w.Byte(9)
+	wire.PutWriter(w)
+	_ = w //lint:ok wirepool fixture exercises the suppression path
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WirePool enforces the pooled-writer contract of internal/wire: once a
+// writer has been handed back with wire.PutWriter, neither the writer nor
+// any slice obtained from its Bytes method may be touched again — the
+// pool will hand the same buffer to a concurrent encoder, and a retained
+// Bytes slice then silently carries another message's bytes. The safe
+// shapes are "use, then PutWriter" and "Detach, PutWriter, use the
+// detached copy"; Detach slices are independent and never flagged.
+//
+// The check is block-ordered and deliberately shallow: a PutWriter call
+// that is a direct statement of a block taints the writer (and its Bytes
+// aliases) for the remaining statements of that block, until the variable
+// is rebound with a fresh GetWriter/NewWriter. Puts inside a nested
+// branch do not taint the enclosing block (the branch usually returns),
+// and a deferred PutWriter runs last and taints nothing.
+func WirePool() *Analyzer {
+	return &Analyzer{
+		Name:    "wirepool",
+		Doc:     "pooled wire.Writer and its Bytes slices must not be used after PutWriter",
+		Applies: internalOnly,
+		Run:     runWirePool,
+	}
+}
+
+func runWirePool(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkPoolBlock(p, block, &diags)
+			return true
+		})
+	}
+	return diags
+}
+
+// checkPoolBlock scans one statement list for direct PutWriter calls and
+// flags later uses of the recycled writer or its Bytes aliases.
+func checkPoolBlock(p *Package, block *ast.BlockStmt, diags *[]Diagnostic) {
+	// aliases maps a byte-slice variable to the writer variable whose
+	// Bytes backing it shares, collected across the whole block first so
+	// an alias bound before the put is caught when used after it.
+	aliases := make(map[*types.Var]*types.Var)
+	for _, st := range block.List {
+		assign, ok := st.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			continue
+		}
+		if w := bytesCallReceiver(p.Info, assign.Rhs[0]); w != nil {
+			if v := varOf(p.Info, assign.Lhs[0]); v != nil {
+				aliases[v] = w
+			}
+		}
+	}
+	for i, st := range block.List {
+		w := directPutWriterArg(p.Info, st)
+		if w == nil {
+			continue
+		}
+		for _, later := range block.List[i+1:] {
+			if rebindsWriter(p.Info, later, w) {
+				break
+			}
+			flagWriterUses(p, later, w, aliases, diags)
+		}
+	}
+}
+
+// directPutWriterArg returns the writer variable recycled by a statement
+// of the form `wire.PutWriter(w)`, or nil.
+func directPutWriterArg(info *types.Info, st ast.Stmt) *types.Var {
+	expr, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(expr.X).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Name() != "PutWriter" || fn.Pkg() == nil ||
+		!hasPathSuffix(fn.Pkg().Path(), "internal/wire") {
+		return nil
+	}
+	return varOf(info, call.Args[0])
+}
+
+// bytesCallReceiver returns the writer variable w for an expression
+// `w.Bytes()`, or nil.
+func bytesCallReceiver(info *types.Info, e ast.Expr) *types.Var {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Bytes" {
+		return nil
+	}
+	w := varOf(info, sel.X)
+	if w == nil || !isNamedType(w.Type(), "internal/wire", "Writer") {
+		return nil
+	}
+	return w
+}
+
+// rebindsWriter reports whether st assigns w a fresh writer
+// (wire.GetWriter or wire.NewWriter), which ends the tainted region.
+func rebindsWriter(info *types.Info, st ast.Stmt, w *types.Var) bool {
+	assign, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, lhs := range assign.Lhs {
+		if varOf(info, lhs) != w || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeOf(info, call)
+		if fn != nil && (fn.Name() == "GetWriter" || fn.Name() == "NewWriter") &&
+			fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), "internal/wire") {
+			return true
+		}
+	}
+	return false
+}
+
+// flagWriterUses reports every mention of the recycled writer w or of a
+// Bytes alias of it inside st.
+func flagWriterUses(p *Package, st ast.Stmt, w *types.Var, aliases map[*types.Var]*types.Var, diags *[]Diagnostic) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		switch {
+		case obj == w:
+			*diags = append(*diags, Diagnostic{
+				Rule: "wirepool",
+				Pos:  p.Fset.Position(id.Pos()),
+				Msg:  "use of pooled writer " + id.Name + " after wire.PutWriter: the buffer may already back another message",
+			})
+		case aliases[obj] == w:
+			*diags = append(*diags, Diagnostic{
+				Rule: "wirepool",
+				Pos:  p.Fset.Position(id.Pos()),
+				Msg:  "use of " + id.Name + " (aliases the recycled writer's Bytes) after wire.PutWriter: Detach before recycling",
+			})
+		}
+		return true
+	})
+}
+
+// varOf resolves an expression to the variable it names, or nil.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	switch obj := info.Uses[id].(type) {
+	case *types.Var:
+		return obj
+	}
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}

@@ -98,12 +98,14 @@ func (r *Registry) Query(q []byte) ([]byte, error) {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		w := wire.NewWriter()
+		w := wire.GetWriter()
 		w.Uvarint(uint64(len(names)))
 		for _, n := range names {
 			w.String(n)
 		}
-		return w.Bytes(), nil
+		out := w.Detach()
+		wire.PutWriter(w)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("namesvc: unknown query %d", op)
 	}
@@ -116,13 +118,15 @@ func (r *Registry) Snapshot() ([]byte, error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Uvarint(uint64(len(names)))
 	for _, n := range names {
 		w.String(n)
 		w.Blob(r.bindings[n])
 	}
-	return w.Bytes(), nil
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out, nil
 }
 
 // Restore implements rsm.Machine.
@@ -160,29 +164,35 @@ func Dial(ctx context.Context, svc *core.Service, cfg rsm.Config) (*Client, erro
 
 // Register binds (or rebinds) a name to a group reference.
 func (c *Client) Register(ctx context.Context, name string, ref core.GroupRef) error {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(opRegister)
 	w.String(name)
 	w.Blob(ref.Encode())
-	_, err := c.c.Apply(ctx, w.Bytes())
+	cmd := w.Detach()
+	wire.PutWriter(w)
+	_, err := c.c.Apply(ctx, cmd)
 	return err
 }
 
 // Unregister removes a binding (idempotent).
 func (c *Client) Unregister(ctx context.Context, name string) error {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(opUnregister)
 	w.String(name)
-	_, err := c.c.Apply(ctx, w.Bytes())
+	cmd := w.Detach()
+	wire.PutWriter(w)
+	_, err := c.c.Apply(ctx, cmd)
 	return err
 }
 
 // Lookup resolves a name to a group reference.
 func (c *Client) Lookup(ctx context.Context, name string) (core.GroupRef, error) {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(qLookup)
 	w.String(name)
-	out, err := c.c.Query(ctx, w.Bytes())
+	q := w.Detach()
+	wire.PutWriter(w)
+	out, err := c.c.Query(ctx, q)
 	if err != nil {
 		return core.GroupRef{}, err
 	}
@@ -191,9 +201,11 @@ func (c *Client) Lookup(ctx context.Context, name string) (core.GroupRef, error)
 
 // List returns all bound names, sorted.
 func (c *Client) List(ctx context.Context) ([]string, error) {
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(qList)
-	out, err := c.c.Query(ctx, w.Bytes())
+	q := w.Detach()
+	wire.PutWriter(w)
+	out, err := c.c.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}

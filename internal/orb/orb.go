@@ -148,13 +148,16 @@ func (o *ORB) Invoke(ctx context.Context, ref Ref, method string, args []byte) (
 		o.mu.Unlock()
 	}()
 
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(kindRequest)
 	w.Uvarint(reqID)
 	w.String(ref.Object)
 	w.String(method)
 	w.Blob(args)
-	if err := o.ep.Send(ref.Target, w.Bytes()); err != nil {
+	// Transports retain the frame by reference, so detach before recycling.
+	frame := w.Detach()
+	wire.PutWriter(w)
+	if err := o.ep.Send(ref.Target, frame); err != nil {
 		return nil, fmt.Errorf("invoke %s: %w", ref, err)
 	}
 
@@ -176,13 +179,15 @@ func (o *ORB) InvokeOneWay(ref Ref, method string, args []byte) error {
 	}
 	o.mu.Unlock()
 
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(kindOneWay)
 	w.Uvarint(0)
 	w.String(ref.Object)
 	w.String(method)
 	w.Blob(args)
-	if err := o.ep.Send(ref.Target, w.Bytes()); err != nil {
+	frame := w.Detach()
+	wire.PutWriter(w)
+	if err := o.ep.Send(ref.Target, frame); err != nil {
 		return fmt.Errorf("invoke oneway %s: %w", ref, err)
 	}
 	return nil
@@ -225,7 +230,9 @@ func (o *ORB) dispatch(in transport.Inbound) {
 	case kindRequest, kindOneWay:
 		object := r.String()
 		method := r.String()
-		args := r.Blob()
+		// Zero-copy: args alias the inbound frame, which is per-message
+		// and stays alive as long as the servant holds the slice.
+		args := r.BlobRef()
 		if r.Done() != nil {
 			return
 		}
@@ -244,7 +251,7 @@ func (o *ORB) dispatch(in transport.Inbound) {
 		}()
 	case kindReply:
 		status := r.Byte()
-		payload := r.Blob()
+		payload := r.BlobRef()
 		errMsg := r.String()
 		if r.Done() != nil {
 			return
@@ -279,7 +286,7 @@ func (o *ORB) serve(from ids.ProcessID, kind byte, reqID uint64, object string, 
 	if kind == kindOneWay {
 		return
 	}
-	w := wire.NewWriter()
+	w := wire.GetWriter()
 	w.Byte(kindReply)
 	w.Uvarint(reqID)
 	if err != nil {
@@ -291,5 +298,7 @@ func (o *ORB) serve(from ids.ProcessID, kind byte, reqID uint64, object string, 
 		w.Blob(payload)
 		w.String("")
 	}
-	_ = o.ep.Send(from, w.Bytes()) //lint:ok errdrop best-effort: a lost reply looks like a lost request, and the client retries
+	frame := w.Detach()
+	wire.PutWriter(w)
+	_ = o.ep.Send(from, frame) //lint:ok errdrop best-effort: a lost reply looks like a lost request, and the client retries
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrTruncated is reported when a reader runs out of bytes.
@@ -32,9 +33,53 @@ func NewWriter() *Writer {
 	return &Writer{buf: make([]byte, 0, 128)}
 }
 
+// writerPool recycles encode buffers across messages. Encoding is the
+// single hottest allocation site in the system (every protocol message,
+// invocation and reply passes through a writer), so the pool starts
+// buffers big enough for a typical frame and lets them grow in place.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 512)} },
+}
+
+// maxPooledCap bounds the buffers the pool retains: a rare giant frame
+// (a flush cut, a state transfer) must not pin megabytes forever.
+const maxPooledCap = 64 << 10
+
+// GetWriter returns an empty pooled writer. The caller must hand it back
+// with PutWriter once the encoded bytes have been consumed or copied out
+// with Detach; after PutWriter the writer and anything returned by Bytes
+// must not be touched again.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles a writer obtained from GetWriter. Oversized buffers
+// are dropped rather than pooled.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledCap {
+		return
+	}
+	writerPool.Put(w)
+}
+
+// Reset empties the writer, keeping its buffer capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Bytes returns the encoded message. The slice aliases the writer's
-// buffer; do not keep writing afterwards.
+// buffer; do not keep writing afterwards, and never retain it across
+// PutWriter — use Detach for bytes that outlive the writer.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Detach returns an exact-size copy of the encoded message that is safe
+// to retain after the writer is recycled. This is the one allocation a
+// pooled encode pays.
+func (w *Writer) Detach() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
 
 // Byte appends one raw byte.
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
@@ -162,6 +207,24 @@ func (r *Reader) Blob() []byte {
 	}
 	out := make([]byte, n)
 	copy(out, r.buf[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return out
+}
+
+// BlobRef reads a length-prefixed byte string without copying: the result
+// aliases the reader's input buffer. Safe only where the decoded value
+// does not outlive the frame it arrived in (transport frames are never
+// reused); anything retained past the decode call must use Blob.
+func (r *Reader) BlobRef() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+int(n) : r.pos+int(n)]
 	r.pos += int(n)
 	return out
 }
