@@ -28,11 +28,12 @@ echo "== go test =="
 go test ./...
 
 # Allocation budgets for the protocol hot paths: the multicast→deliver
-# cycle, wire encode/decode and the pooled writer itself. A regression
-# back to per-message maps, per-attempt sorting or per-encode buffers
+# cycle, wire encode/decode, the pooled writer, and the TCP transport's
+# enqueue/flush and pooled-read paths. A regression back to per-message
+# maps, per-attempt sorting, per-encode buffers or per-frame read buffers
 # fails here long before it would show up in a benchmark.
 echo "== alloc budgets =="
-go test -run AllocGuard ./internal/gcs/ ./internal/wire/
+go test -run AllocGuard ./internal/gcs/ ./internal/wire/ ./internal/transport/tcpnet/
 
 if [ "${CI_SHORT:-0}" = "1" ]; then
 	echo "ci: CI_SHORT=1, skipping the race pass"
@@ -46,5 +47,11 @@ fi
 # measured speedup; the acceptance floor is 2x on the LAN placement).
 echo "== pipeline smoke =="
 go run ./cmd/newtop-bench -experiment pipeline -quick
+
+# Smoke the real-socket transport the same way: a loopback TCP peer group
+# over the writer-pipeline transport. Catches anything the in-memory
+# transports can't — framing, redial, vectored-write batching.
+echo "== tcpnet smoke =="
+go run ./cmd/newtop-bench -experiment tcpnet -quick
 
 echo "ci: all checks passed"

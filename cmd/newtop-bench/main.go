@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,9 +51,22 @@ func run(args []string) error {
 		timeout    = fs.Duration("timeout", 45*time.Minute, "overall deadline")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		jsonOut    = fs.Bool("json", false, "also write each result to BENCH_<id>.json")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	if *list {

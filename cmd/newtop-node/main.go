@@ -69,6 +69,11 @@ func run(args []string) error {
 		timeout = fs.Duration("timeout", 30*time.Second, "operation deadline")
 		metrics = fs.String("metrics", "", "address to serve /metrics and /traces on (serve)")
 		statsEv = fs.Duration("stats", 10*time.Second, "interval between stats lines (serve; 0 disables)")
+
+		advertise  = fs.String("advertise", "", "address peers should dial back (required when -listen binds a wildcard behind NAT/containers)")
+		sendQueue  = fs.Int("send-queue", 0, "per-peer send queue depth in frames (0 = transport default)")
+		flushBatch = fs.Int("flush-batch", 0, "max frames coalesced into one vectored write (0 = transport default)")
+		flushDelay = fs.Duration("flush-delay", 0, "wait this long for more frames before flushing (0 = flush immediately; trades latency for fewer syscalls)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -77,7 +82,12 @@ func run(args []string) error {
 		return fmt.Errorf("-id is required")
 	}
 
-	ep, err := tcpnet.Listen(ids.ProcessID(*id), *listen)
+	ep, err := tcpnet.ListenConfig(ids.ProcessID(*id), *listen, tcpnet.Config{
+		AdvertiseAddr: *advertise,
+		QueueLen:      *sendQueue,
+		FlushBatch:    *flushBatch,
+		FlushDelay:    *flushDelay,
+	})
 	if err != nil {
 		return err
 	}

@@ -118,6 +118,7 @@ func Experiments() []Experiment {
 		{ID: "pipeline", Title: "Pipeline: async window + sender-side batching vs the serial client loop", Run: runPipeline},
 		{ID: "closed-symmetric", Title: "§5.1.3 text: closed vs open under symmetric ordering", Run: runClosedSymmetric},
 		{ID: "hotpath", Title: "Hot path: indexed delivery queues + pooled codec, LAN peer group", Run: runHotpath},
+		{ID: "tcpnet", Title: "TCP transport: writer pipelines + frame coalescing, loopback peer group", Run: runTCPNet},
 	}
 }
 

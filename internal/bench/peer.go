@@ -9,6 +9,7 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/netsim"
+	"newtop/internal/transport"
 	"newtop/internal/transport/memnet"
 	"newtop/internal/wire"
 )
@@ -37,6 +38,12 @@ type PeerConfig struct {
 	// experiment substitutes fast timers with no simulated processing cost
 	// so protocol CPU dominates the measurement.
 	Timers *gcs.GroupConfig
+	// Endpoints, when set, supplies one connected transport endpoint per
+	// member in place of the default simulated memnet world — the tcpnet
+	// experiment plugs real loopback TCP sockets in here. The member at
+	// index 0 founds the group. The nodes built on top own the endpoints
+	// and close them; on error the harness closes any leftovers.
+	Endpoints func(members int) ([]transport.Endpoint, error)
 }
 
 // PeerPoint is one measured point.
@@ -141,7 +148,6 @@ func (tr *peerTracker) record(m peerMsg, at time.Time) {
 }
 
 func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, error) {
-	net := memnet.New(netsim.New(cfg.Profile, cfg.Seed+int64(members)))
 	timers := evalTimers()
 	if cfg.Timers != nil {
 		timers = *cfg.Timers
@@ -149,22 +155,41 @@ func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, 
 	timers.Order = cfg.Order
 	timers.Liveness = gcs.Lively
 
+	var eps []transport.Endpoint
+	if cfg.Endpoints != nil {
+		var err error
+		eps, err = cfg.Endpoints(members)
+		if err != nil {
+			return PeerPoint{}, err
+		}
+	} else {
+		net := memnet.New(netsim.New(cfg.Profile, cfg.Seed+int64(members)))
+		for i := 0; i < members; i++ {
+			id := ids.ProcessID(fmt.Sprintf("p%02d.%s", i, cfg.Place.ClientSite(i)))
+			ep, err := net.Endpoint(id, cfg.Place.ClientSite(i))
+			if err != nil {
+				return PeerPoint{}, err
+			}
+			eps = append(eps, ep)
+		}
+	}
+
 	nodes := make([]*gcs.Node, 0, members)
 	defer func() {
 		for _, n := range nodes {
 			_ = n.Close()
 		}
+		// Endpoints not yet owned by a node (mid-construction error).
+		for _, ep := range eps[len(nodes):] {
+			_ = ep.Close()
+		}
 	}()
 	groups := make([]*gcs.Group, 0, members)
-	for i := 0; i < members; i++ {
-		id := ids.ProcessID(fmt.Sprintf("p%02d.%s", i, cfg.Place.ClientSite(i)))
-		ep, err := net.Endpoint(id, cfg.Place.ClientSite(i))
-		if err != nil {
-			return PeerPoint{}, err
-		}
+	for i, ep := range eps {
 		node := gcs.NewNode(ep)
 		nodes = append(nodes, node)
 		var g *gcs.Group
+		var err error
 		if i == 0 {
 			g, err = node.Create("peer", timers)
 		} else {

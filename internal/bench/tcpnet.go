@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"newtop/internal/gcs"
+	"newtop/internal/ids"
+	"newtop/internal/transport"
+	"newtop/internal/transport/tcpnet"
+)
+
+// runTCPNet benchmarks the real network transport: the same 9-member
+// full-mesh peer-group workload as the hotpath experiment, but over actual
+// loopback TCP sockets instead of the simulated memnet world. Here the
+// syscall and framing cost of the transport is part of the measurement —
+// the experiment backs the non-blocking writer-pipeline and frame-
+// coalescing claims in EXPERIMENTS.md (the role omniORB2's TCP layer
+// plays as the paper's deployment substrate).
+func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
+	members := maxCount(sc.PeerMembers, 9)
+	timers := hotpathTimers()
+
+	res := &Result{
+		ID:          "tcpnet",
+		Expectation: "with per-peer writer pipelines and frame coalescing, the loopback TCP peer group sustains at least twice the msg/s of the synchronous one-write-per-frame transport",
+		Metrics: map[string]float64{
+			"members":             float64(members),
+			"messages_per_member": float64(sc.PeerMessages),
+		},
+	}
+	tbl := Table{
+		Title:  fmt.Sprintf("real loopback tcp, %d-member peer group", members),
+		Header: []string{"ordering", "msg/s (deliverable everywhere)", "p50 deliver-all (ms)", "p95 deliver-all (ms)", "allocs/msg", "frames/flush"},
+	}
+
+	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
+		// Whole-run heap delta over the number of multicasts, like the
+		// hotpath experiment: an honest (over-stated) per-message budget.
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		stats := &tcpStats{}
+		pts, err := RunPeer(ctx, PeerConfig{
+			Seed:      sc.Seed,
+			Order:     order,
+			Members:   []int{members},
+			Messages:  sc.PeerMessages,
+			Timers:    &timers,
+			Endpoints: tcpEndpoints(stats),
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+
+		p := pts[0]
+		msgs := float64(members * sc.PeerMessages)
+		allocsPerMsg := float64(after.Mallocs-before.Mallocs) / msgs
+		p50 := latPercentile(p.Latencies, 50)
+		p95 := latPercentile(p.Latencies, 95)
+		framesPerFlush := stats.framesPerFlush()
+
+		tbl.Rows = append(tbl.Rows, []string{
+			order.String(), fmtF(p.MsgPerSec), fmtMS(p50), fmtMS(p95),
+			fmtF(allocsPerMsg), fmtF(framesPerFlush),
+		})
+		prefix := "symmetric"
+		if order == gcs.OrderSequencer {
+			prefix = "sequencer"
+		}
+		res.Metrics[prefix+"_msg_per_sec"] = p.MsgPerSec
+		res.Metrics[prefix+"_deliver_all_p50_ms"] = ms(p50)
+		res.Metrics[prefix+"_deliver_all_p95_ms"] = ms(p95)
+		res.Metrics[prefix+"_allocs_per_msg"] = allocsPerMsg
+		res.Metrics[prefix+"_frames_per_flush"] = framesPerFlush
+	}
+
+	res.Tables = []Table{tbl}
+	return res, nil
+}
+
+// tcpStats aggregates transport-level counters across the endpoints of one
+// measured point (read after the run; endpoints survive until node close).
+type tcpStats struct {
+	eps []*tcpnet.Endpoint
+}
+
+// framesPerFlush reports how many frames the writer pipelines packed into
+// each vectored write, averaged over every endpoint of the run — the
+// coalescing factor the transport rewrite buys.
+func (s *tcpStats) framesPerFlush() float64 {
+	var frames, flushes uint64
+	for _, ep := range s.eps {
+		st := ep.Stats()
+		frames += st.FramesSent
+		flushes += st.Flushes
+	}
+	if flushes == 0 {
+		return 0
+	}
+	return float64(frames) / float64(flushes)
+}
+
+// tcpEndpoints builds a full mesh of real TCP endpoints on loopback: every
+// member listens on an ephemeral 127.0.0.1 port and learns every other
+// member's address before the group forms.
+func tcpEndpoints(stats *tcpStats) func(members int) ([]transport.Endpoint, error) {
+	return func(members int) ([]transport.Endpoint, error) {
+		eps := make([]*tcpnet.Endpoint, 0, members)
+		fail := func(err error) ([]transport.Endpoint, error) {
+			for _, ep := range eps {
+				_ = ep.Close()
+			}
+			return nil, err
+		}
+		for i := 0; i < members; i++ {
+			ep, err := tcpnet.Listen(ids.ProcessID(fmt.Sprintf("p%02d", i)), "127.0.0.1:0")
+			if err != nil {
+				return fail(err)
+			}
+			eps = append(eps, ep)
+		}
+		for _, a := range eps {
+			for _, b := range eps {
+				if a != b {
+					a.AddPeer(b.ID(), b.Addr())
+				}
+			}
+		}
+		stats.eps = eps
+		out := make([]transport.Endpoint, len(eps))
+		for i, ep := range eps {
+			out[i] = ep
+		}
+		return out, nil
+	}
+}

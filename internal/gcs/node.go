@@ -201,19 +201,103 @@ func (n *Node) Close() error {
 	return err
 }
 
+// recvBurst caps how many already-queued inbound frames one receive pass
+// drains before processing. Bursts only form when the transport outruns
+// the event loop; the cap bounds how long the first frame of a burst
+// waits behind its successors' decode step.
+const recvBurst = 64
+
+// inFrame is one decoded inbound frame awaiting dispatch.
+type inFrame struct {
+	from ids.ProcessID
+	gid  ids.GroupID
+	msg  any
+	size int
+}
+
+// recvLoop drains the endpoint. Frames are taken in opportunistic bursts:
+// one blocking receive, then whatever else is already queued (up to
+// recvBurst). Consecutive data-carrying frames for the same group are
+// ingested under one lock hold with a single post-ingest tail
+// (Group.handleBurst); everything else — membership, flush, suspicion
+// traffic — is handled one frame at a time exactly as before, and runs of
+// different groups' frames stay in arrival order, preserving the
+// transport's per-link FIFO processing.
 func (n *Node) recvLoop() {
 	defer close(n.recvDone)
-	for in := range n.ep.Inbound() {
-		msg, err := decodeMessage(in.Payload)
-		if err != nil {
-			continue // corrupt frame: drop, reliability recovers
+	inCh := n.ep.Inbound()
+	frames := make([]inFrame, 0, recvBurst)
+	run := make([]any, 0, recvBurst)
+	for in := range inCh {
+		frames = frames[:0]
+		if f, ok := decodeFrame(in); ok {
+			frames = append(frames, f)
 		}
-		gid := groupOf(msg)
+		open := true
+	drain:
+		for open && len(frames) < recvBurst {
+			select {
+			case more, chOpen := <-inCh:
+				if !chOpen {
+					open = false
+					break drain
+				}
+				if f, ok := decodeFrame(more); ok {
+					frames = append(frames, f)
+				}
+			default:
+				break drain
+			}
+		}
+		n.dispatch(frames, &run)
+		if !open {
+			return
+		}
+	}
+}
+
+func decodeFrame(in transport.Inbound) (inFrame, bool) {
+	msg, err := decodeMessage(in.Payload)
+	if err != nil {
+		return inFrame{}, false // corrupt frame: drop, reliability recovers
+	}
+	return inFrame{from: in.From, gid: groupOf(msg), msg: msg, size: len(in.Payload)}, true
+}
+
+// dataCarrying reports whether a message is eligible for burst ingestion:
+// only the data path shares a post-ingest tail.
+func dataCarrying(msg any) bool {
+	switch msg.(type) {
+	case *dataMsg, *batchMsg:
+		return true
+	}
+	return false
+}
+
+// dispatch hands a burst of decoded frames to their groups, coalescing
+// consecutive same-group data runs into one handleBurst call.
+func (n *Node) dispatch(frames []inFrame, run *[]any) {
+	for i := 0; i < len(frames); {
+		f := frames[i]
 		n.mu.Lock()
-		g := n.groups[gid]
+		g := n.groups[f.gid]
 		n.mu.Unlock()
-		if g != nil {
-			g.handle(in.From, msg, len(in.Payload))
+		if g == nil {
+			i++
+			continue
 		}
+		if !dataCarrying(f.msg) {
+			g.handle(f.from, f.msg, f.size)
+			i++
+			continue
+		}
+		*run = (*run)[:0]
+		bytes := 0
+		for i < len(frames) && frames[i].gid == f.gid && dataCarrying(frames[i].msg) {
+			*run = append(*run, frames[i].msg)
+			bytes += frames[i].size
+			i++
+		}
+		g.handleBurst(*run, bytes)
 	}
 }

@@ -87,6 +87,200 @@ func TestTotalOrderOverTCP(t *testing.T) {
 	}
 }
 
+// waitViewTCP spins until every group sees exactly n members.
+func waitViewTCP(t *testing.T, groups []*gcs.Group, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for _, g := range groups {
+		for len(g.View().Members) != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s stuck in view %v waiting for %d members", g.Me(), g.View(), n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestCrashReconnectUnderLoadOverTCP exercises the full failure arc on the
+// real transport: a member's socket dies abruptly mid-load (its leave
+// message never escapes, so survivors must detect the silence), the
+// remaining members re-form and keep delivering the in-flight traffic,
+// and a process with the same identity restarts on the same address and
+// rejoins while the survivors are still multicasting. The transport-level
+// mechanics under test: writer pipelines drop frames to the dead peer
+// without stalling the survivors' event loops, redial in the background
+// once the address is live again, and the restarted listener's handshake
+// supersedes any stale inbound state.
+func TestCrashReconnectUnderLoadOverTCP(t *testing.T) {
+	const members = 3
+	cfg := testConfig(gcs.OrderSymmetric)
+
+	eps := make([]*tcpnet.Endpoint, members)
+	addrs := make([]string, members)
+	for i := range eps {
+		ep, err := tcpnet.Listen(ids.ProcessID(fmt.Sprintf("c%d", i)), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	for _, a := range eps {
+		for _, b := range eps {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	nodes := make([]*gcs.Node, members)
+	for i, ep := range eps {
+		nodes[i] = gcs.NewNode(ep)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	groups := make([]*gcs.Group, members)
+	var err error
+	groups[0], err = nodes[0].Create("crash-g", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < members; i++ {
+		groups[i], err = nodes[i].Join(ctx, "crash-g", nodes[0].ID(), cfg)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	waitViewTCP(t, groups, members)
+
+	// Phase 1: all three members under load.
+	const p1 = 5
+	for i := 0; i < p1; i++ {
+		for j, g := range groups {
+			if err := g.Multicast(ctx, []byte(fmt.Sprintf("p1/%d/%d", j, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, g := range groups {
+		collect(t, g, members*p1, 20*time.Second)
+	}
+
+	// Crash c2 abruptly: kill the socket first so the node teardown's
+	// leave message is dropped on the floor — survivors must notice the
+	// silence, not be told.
+	_ = eps[2].Close()
+
+	// Survivors push more load immediately, while their failure detectors
+	// still believe c2 is alive. Sends to the dead peer land in its pipe
+	// and drop; the live links must not stall behind them.
+	const p2 = 10
+	for i := 0; i < p2; i++ {
+		for j, g := range groups[:2] {
+			if err := g.Multicast(ctx, []byte(fmt.Sprintf("p2/%d/%d", j, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = nodes[2].Close()
+
+	// The survivors re-form without c2 and deliver every in-flight
+	// message from phase 2.
+	waitViewTCP(t, groups[:2], members-1)
+	for _, g := range groups[:2] {
+		dels := collect(t, g, 2*p2, 20*time.Second)
+		for _, d := range dels {
+			if string(d.Payload[:3]) != "p2/" {
+				t.Fatalf("unexpected delivery %q during survivor phase", d.Payload)
+			}
+		}
+	}
+
+	// Restart: same identity, same address. The survivors' writer
+	// pipelines have been redialing this address in the background; the
+	// fresh listener turns their traffic back on without any AddPeer.
+	ep2b, err := tcpnet.Listen("c2", addrs[2])
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addrs[2], err)
+	}
+	node2b := gcs.NewNode(ep2b)
+	defer node2b.Close()
+	ep2b.AddPeer(eps[0].ID(), addrs[0])
+	ep2b.AddPeer(eps[1].ID(), addrs[1])
+
+	// Rejoin while the survivors are still multicasting: Multicast parks
+	// during the join's flush and resumes in the new view, so the load
+	// keeps flowing across the membership change.
+	const p3 = 10
+	loadDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < p3; i++ {
+			for j, g := range groups[:2] {
+				if err := g.Multicast(ctx, []byte(fmt.Sprintf("p3/%d/%d", j, i))); err != nil {
+					loadDone <- err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		loadDone <- nil
+	}()
+	g2b, err := node2b.Join(ctx, "crash-g", nodes[0].ID(), cfg)
+	if err != nil {
+		t.Fatalf("rejoin after crash: %v", err)
+	}
+	if err := <-loadDone; err != nil {
+		t.Fatalf("multicast during rejoin: %v", err)
+	}
+	all := []*gcs.Group{groups[0], groups[1], g2b}
+	waitViewTCP(t, all, members)
+
+	// Phase 4: the re-formed group under load again; everyone must agree
+	// on the relative order of the phase-4 messages (the rejoined member
+	// may or may not see late phase-3 traffic depending on where the join
+	// serialized, so the agreement check filters to p4/).
+	const p4 = 5
+	for i := 0; i < p4; i++ {
+		for j, g := range all {
+			if err := g.Multicast(ctx, []byte(fmt.Sprintf("p4/%d/%d", j, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var first []string
+	for i, g := range all {
+		var seq []string
+		deadline := time.After(20 * time.Second)
+		for len(seq) < members*p4 {
+			select {
+			case ev, ok := <-g.Events():
+				if !ok {
+					t.Fatalf("%s: events closed with %d/%d p4 deliveries", g.Me(), len(seq), members*p4)
+				}
+				if ev.Type == gcs.EventDeliver && len(ev.Deliver.Payload) >= 3 && string(ev.Deliver.Payload[:3]) == "p4/" {
+					seq = append(seq, string(ev.Deliver.Payload))
+				}
+			case <-deadline:
+				t.Fatalf("%s: timeout with %d/%d p4 deliveries", g.Me(), len(seq), members*p4)
+			}
+		}
+		if i == 0 {
+			first = seq
+			continue
+		}
+		for k := range first {
+			if seq[k] != first[k] {
+				t.Fatalf("post-reconnect order disagreement at %d: %q vs %q", k, seq[k], first[k])
+			}
+		}
+	}
+}
+
 // TestQuickRandomScheduleAgreement drives randomized multicast schedules
 // (member count, per-member message counts, interleaving seeds all chosen
 // by testing/quick) and asserts the total-order agreement invariant holds
