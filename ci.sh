@@ -28,12 +28,13 @@ echo "== go test =="
 go test ./...
 
 # Allocation budgets for the protocol hot paths: the multicast→deliver
-# cycle, wire encode/decode, the pooled writer, and the TCP transport's
-# enqueue/flush and pooled-read paths. A regression back to per-message
-# maps, per-attempt sorting, per-encode buffers or per-frame read buffers
-# fails here long before it would show up in a benchmark.
+# cycle, wire encode/decode, the pooled writer, the TCP transport's
+# enqueue/flush and pooled-read paths, and the flight recorder (which
+# must journal an event with zero allocations). A regression back to
+# per-message maps, per-attempt sorting, per-encode buffers or per-frame
+# read buffers fails here long before it would show up in a benchmark.
 echo "== alloc budgets =="
-go test -run AllocGuard ./internal/gcs/ ./internal/wire/ ./internal/transport/tcpnet/
+go test -run AllocGuard ./internal/gcs/ ./internal/wire/ ./internal/transport/tcpnet/ ./internal/obs/flight/
 
 if [ "${CI_SHORT:-0}" = "1" ]; then
 	echo "ci: CI_SHORT=1, skipping the race pass"
@@ -53,5 +54,12 @@ go run ./cmd/newtop-bench -experiment pipeline -quick
 # transports can't — framing, redial, vectored-write batching.
 echo "== tcpnet smoke =="
 go run ./cmd/newtop-bench -experiment tcpnet -quick
+
+# Journal invariants: replay the flight recorder's protocol journal from
+# a quick hotpath run through the stall detector and the delivery-order
+# verifier. Any diagnosed stall, ordering regression or (the window being
+# complete) unexplained gap fails the stage.
+echo "== journal invariants =="
+go run ./cmd/newtop-bench -experiment hotpath -quick -journal-check
 
 echo "ci: all checks passed"

@@ -52,10 +52,15 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		jsonOut    = fs.Bool("json", false, "also write each result to BENCH_<id>.json")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		jcheck     = fs.Bool("journal-check", false, "run the flight-recorder stall detector and delivery-order verifier over each journal-instrumented run; fail on findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// A ring big enough for a whole measured point, so the per-stage
+	// decomposition and the journal checks see every event of a run.
+	bench.EnableFlightJournal(0)
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -83,6 +88,7 @@ func run(args []string) error {
 	if *requests > 0 {
 		scale.Requests = *requests
 	}
+	scale.JournalCheck = *jcheck
 
 	var selected []bench.Experiment
 	if *experiment == "all" {

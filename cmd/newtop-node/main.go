@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +38,7 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
 	"newtop/internal/transport/tcpnet"
 )
 
@@ -67,8 +69,10 @@ func run(args []string) error {
 		order   = fs.String("order", "sequencer", "ordering: sequencer|symmetric|causal")
 		batch   = fs.Bool("batch", false, "coalesce same-tick multicasts into batch envelopes (sender-local)")
 		timeout = fs.Duration("timeout", 30*time.Second, "operation deadline")
-		metrics = fs.String("metrics", "", "address to serve /metrics and /traces on (serve)")
+		metrics = fs.String("metrics", "", "address to serve /metrics, /traces and /journal on (serve)")
 		statsEv = fs.Duration("stats", 10*time.Second, "interval between stats lines (serve; 0 disables)")
+		journal = fs.Int("journal", 0, "flight-recorder capacity in events (0 keeps the default 4096-event ring); inspect via /journal on the metrics address")
+		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics address (serve)")
 
 		advertise  = fs.String("advertise", "", "address peers should dial back (required when -listen binds a wildcard behind NAT/containers)")
 		sendQueue  = fs.Int("send-queue", 0, "per-peer send queue depth in frames (0 = transport default)")
@@ -80,6 +84,11 @@ func run(args []string) error {
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
+	}
+	if *journal > 0 {
+		// Swap the process-wide recorder before any component interns its
+		// IDs against it; everything built below records into this ring.
+		obs.Default().Flight = flight.New(*journal)
 	}
 
 	ep, err := tcpnet.ListenConfig(ids.ProcessID(*id), *listen, tcpnet.Config{
@@ -109,7 +118,7 @@ func run(args []string) error {
 
 	switch cmd {
 	case "serve":
-		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *metrics, *statsEv)
+		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *metrics, *statsEv, *pprofOn)
 	case "invoke":
 		return invokeCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *style, *method, *cargs, *mode)
 	case "peer":
@@ -144,7 +153,7 @@ func parseMode(s string) core.ReplyMode {
 }
 
 // serveCmd hosts one replica of a simple echo/uppercase service.
-func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, metricsAddr string, statsEvery time.Duration) error {
+func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, metricsAddr string, statsEvery time.Duration, pprofOn bool) error {
 	svc := core.NewService(ep)
 	defer svc.Close()
 	me := svc.ID()
@@ -177,8 +186,19 @@ func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact id
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
-		fmt.Printf("metrics on http://%s/metrics and /traces\n", ln.Addr())
-		go func() { _ = http.Serve(ln, obs.Handler(svc.Obs())) }()
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(svc.Obs()))
+		endpoints := "/metrics, /traces, /journal and /journal/analyze"
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			endpoints += " and /debug/pprof/"
+		}
+		fmt.Printf("metrics on http://%s: %s\n", ln.Addr(), endpoints)
+		go func() { _ = http.Serve(ln, mux) }()
 	}
 
 	stop := make(chan struct{})

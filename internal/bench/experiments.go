@@ -20,6 +20,10 @@ type Scale struct {
 	ClientCounts []int
 	PeerMessages int
 	PeerMembers  []int
+	// JournalCheck makes the journal-instrumented experiments (hotpath,
+	// tcpnet) run the flight recorder's stall detector and delivery-order
+	// verifier over each measured point and fail on any finding.
+	JournalCheck bool
 }
 
 // FullScale reproduces the paper's sweep sizes.

@@ -35,6 +35,7 @@ func runHotpath(ctx context.Context, sc Scale) (*Result, error) {
 		Title:  fmt.Sprintf("hot path, %d-member lan peer group, fast profile", members),
 		Header: []string{"ordering", "msg/s (deliverable everywhere)", "p50 deliver-all (ms)", "p95 deliver-all (ms)", "allocs/msg", "KiB/msg"},
 	}
+	decTbl := decompositionTable()
 
 	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
 		// The allocation budget is a whole-run delta over the process heap
@@ -44,6 +45,7 @@ func runHotpath(ctx context.Context, sc Scale) (*Result, error) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
+		jr := beginJournal()
 		pts, err := RunPeer(ctx, PeerConfig{
 			Profile:  netsim.FastProfile(),
 			Seed:     sc.Seed,
@@ -55,6 +57,10 @@ func runHotpath(ctx context.Context, sc Scale) (*Result, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		dec, jerr := jr.finish("hotpath/"+order.String(), sc.JournalCheck)
+		if jerr != nil {
+			return nil, jerr
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&after)
@@ -70,6 +76,7 @@ func runHotpath(ctx context.Context, sc Scale) (*Result, error) {
 			order.String(), fmtF(p.MsgPerSec), fmtMS(p50), fmtMS(p95),
 			fmtF(allocsPerMsg), fmtF(bytesPerMsg / 1024),
 		})
+		decTbl.Rows = append(decTbl.Rows, stageRows(order.String(), dec)...)
 		prefix := "symmetric"
 		if order == gcs.OrderSequencer {
 			prefix = "sequencer"
@@ -79,9 +86,10 @@ func runHotpath(ctx context.Context, sc Scale) (*Result, error) {
 		res.Metrics[prefix+"_deliver_all_p95_ms"] = ms(p95)
 		res.Metrics[prefix+"_allocs_per_msg"] = allocsPerMsg
 		res.Metrics[prefix+"_bytes_per_msg"] = bytesPerMsg
+		addStageMetrics(res, prefix, dec)
 	}
 
-	res.Tables = []Table{tbl}
+	res.Tables = []Table{tbl, decTbl}
 	return res, nil
 }
 

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
+)
+
+// EnableFlightJournal swaps the process-wide flight recorder for a ring
+// big enough to hold a whole measured point, so the per-stage latency
+// decomposition covers every message of a run instead of the tail.
+// newtop-bench calls this once at startup, before any node interns IDs
+// against the default recorder. capacity <= 0 selects 1<<17 events.
+func EnableFlightJournal(capacity int) {
+	if capacity <= 0 {
+		capacity = 1 << 17
+	}
+	obs.Default().Flight = flight.New(capacity)
+}
+
+// journalRun brackets one measured run's slice of the process journal:
+// open before the run, finish after it to analyze only that run's events.
+type journalRun struct {
+	rec   *flight.Recorder
+	start uint64
+}
+
+func beginJournal() *journalRun {
+	rec := obs.Default().Flight
+	return &journalRun{rec: rec, start: rec.Cursor()}
+}
+
+// finish decomposes the run's journal window into per-stage latency and,
+// when check is set, verifies it: any stall diagnosis or delivery-order
+// violation becomes an error (ci.sh's journal-invariants stage runs the
+// quick hotpath bench with check on and fails on findings). Gap checking
+// is strict only when the ring kept every event of the window.
+func (j *journalRun) finish(label string, check bool) (flight.Decomposition, error) {
+	events, dropped := j.rec.Since(j.start)
+	d := flight.Decompose(flight.Timelines(events))
+	if !check {
+		return d, nil
+	}
+	m := j.rec.Meta()
+	var findings []string
+	for _, s := range flight.DetectStalls(events, m, flight.StallConfig{}) {
+		findings = append(findings, "stall: "+s.String())
+	}
+	for _, v := range flight.CheckOrder(events, m, dropped == 0) {
+		findings = append(findings, "order violation: "+v)
+	}
+	if len(findings) > 0 {
+		msg := fmt.Sprintf("journal check %s: %d findings over %d events", label, len(findings), len(events))
+		for _, f := range findings {
+			msg += "\n  " + f
+		}
+		return d, fmt.Errorf("%s", msg)
+	}
+	return d, nil
+}
+
+// addStageMetrics records the decomposition under machine-readable keys
+// (<prefix>_stage_<stage>_{p50,p95}_ms) so BENCH_<id>.json tracks the
+// per-stage latency budget across revisions.
+func addStageMetrics(res *Result, prefix string, d flight.Decomposition) {
+	for name, st := range map[string]flight.Stage{
+		"queue": d.Queue, "wire": d.Wire, "order": d.Order, "spread": d.Spread,
+	} {
+		res.Metrics[prefix+"_stage_"+name+"_p50_ms"] = ms(st.P50)
+		res.Metrics[prefix+"_stage_"+name+"_p95_ms"] = ms(st.P95)
+	}
+}
+
+// stageRows renders the decomposition as table rows for one ordering.
+func stageRows(ordering string, d flight.Decomposition) [][]string {
+	rows := make([][]string, 0, 4)
+	for _, st := range d.Stages() {
+		rows = append(rows, []string{
+			ordering, st.Name, fmt.Sprintf("%d", st.Count),
+			fmtMS(st.P50), fmtMS(st.P95), fmtMS(st.Mean), fmtMS(st.Max),
+		})
+	}
+	return rows
+}
+
+// decompositionTable is the decomposition table shared by hotpath and tcpnet.
+func decompositionTable() Table {
+	return Table{
+		Title:  "per-stage latency decomposition (flight journal)",
+		Header: []string{"ordering", "stage", "samples", "p50 (ms)", "p95 (ms)", "mean (ms)", "max (ms)"},
+	}
+}

@@ -34,6 +34,7 @@ func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
 		Title:  fmt.Sprintf("real loopback tcp, %d-member peer group", members),
 		Header: []string{"ordering", "msg/s (deliverable everywhere)", "p50 deliver-all (ms)", "p95 deliver-all (ms)", "allocs/msg", "frames/flush"},
 	}
+	decTbl := decompositionTable()
 
 	for _, order := range []gcs.OrderMode{gcs.OrderSymmetric, gcs.OrderSequencer} {
 		// Whole-run heap delta over the number of multicasts, like the
@@ -41,6 +42,7 @@ func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
+		jr := beginJournal()
 		stats := &tcpStats{}
 		pts, err := RunPeer(ctx, PeerConfig{
 			Seed:      sc.Seed,
@@ -52,6 +54,10 @@ func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		dec, jerr := jr.finish("tcpnet/"+order.String(), sc.JournalCheck)
+		if jerr != nil {
+			return nil, jerr
 		}
 		runtime.GC()
 		runtime.ReadMemStats(&after)
@@ -67,6 +73,7 @@ func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
 			order.String(), fmtF(p.MsgPerSec), fmtMS(p50), fmtMS(p95),
 			fmtF(allocsPerMsg), fmtF(framesPerFlush),
 		})
+		decTbl.Rows = append(decTbl.Rows, stageRows(order.String(), dec)...)
 		prefix := "symmetric"
 		if order == gcs.OrderSequencer {
 			prefix = "sequencer"
@@ -76,9 +83,10 @@ func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
 		res.Metrics[prefix+"_deliver_all_p95_ms"] = ms(p95)
 		res.Metrics[prefix+"_allocs_per_msg"] = allocsPerMsg
 		res.Metrics[prefix+"_frames_per_flush"] = framesPerFlush
+		addStageMetrics(res, prefix, dec)
 	}
 
-	res.Tables = []Table{tbl}
+	res.Tables = []Table{tbl, decTbl}
 	return res, nil
 }
 

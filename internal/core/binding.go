@@ -10,6 +10,7 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
 )
 
 // BindConfig configures a client's binding to a server group.
@@ -453,6 +454,7 @@ func (b *Binding) InvokeAsync(ctx context.Context, method string, args []byte, o
 	// that died after the request stabilised but before replying.
 	b.group.Attend()
 
+	b.svc.frRecord(flight.EvCallStart, uint64(o.trace), uint64(o.mode), 0)
 	start := time.Now()
 	req := &invRequest{
 		Call:   o.call,
@@ -482,6 +484,7 @@ func (b *Binding) InvokeAsync(ctx context.Context, method string, args []byte, o
 		b.svc.dropWaiter(o.call)
 		release()
 		record()
+		b.svc.frRecord(flight.EvCallDone, uint64(o.trace), 1, 0)
 		if errors.Is(err, gcs.ErrLeft) {
 			return nil, ErrBindingBroken
 		}
@@ -494,6 +497,7 @@ func (b *Binding) InvokeAsync(ctx context.Context, method string, args []byte, o
 		b.svc.dropWaiter(o.call)
 		release()
 		record()
+		b.svc.frRecord(flight.EvCallDone, uint64(o.trace), 0, 0)
 		c.complete(nil, nil)
 		return c, nil
 	}
@@ -514,6 +518,11 @@ func (b *Binding) InvokeAsync(ctx context.Context, method string, args []byte, o
 			b.svc.metrics.asyncCancelled.Inc()
 		}
 		record()
+		var failed uint64
+		if err != nil {
+			failed = 1
+		}
+		b.svc.frRecord(flight.EvCallDone, uint64(o.trace), failed, 0)
 		c.complete(replies, err)
 	}()
 	return c, nil

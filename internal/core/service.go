@@ -9,6 +9,7 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
 	"newtop/internal/orb"
 	"newtop/internal/transport"
 )
@@ -28,6 +29,8 @@ type Service struct {
 	orb     *orb.ORB
 	obs     *obs.Obs
 	metrics *coreMetrics
+	fr      *flight.Recorder
+	frProc  uint16
 
 	mu       sync.Mutex
 	servers  map[ids.GroupID]*Server
@@ -57,6 +60,8 @@ func NewServiceObs(ep transport.Endpoint, o *obs.Obs) *Service {
 		orb:     orb.NewObs(mux.Channel(transport.ProtoORB), o),
 		obs:     o,
 		metrics: newCoreMetrics(o),
+		fr:      o.Flight,
+		frProc:  o.Flight.Proc(string(ep.ID())),
 		servers: make(map[ids.GroupID]*Server),
 		waiters: make(map[ids.CallID]*callWaiter),
 	}
@@ -66,6 +71,12 @@ func NewServiceObs(ep transport.Endpoint, o *obs.Obs) *Service {
 
 // Obs returns the service's observability domain (registry + tracer).
 func (s *Service) Obs() *obs.Obs { return s.obs }
+
+// frRecord notes an invocation-layer flight event. MsgSeq carries the
+// trace ID so journal entries join against the tracer's spans.
+func (s *Service) frRecord(t flight.Type, trace, a, b uint64) {
+	s.fr.Record(flight.Event{Type: t, Proc: s.frProc, Sender: flight.NoSender, MsgSeq: trace, A: a, B: b})
+}
 
 // ID returns the process identifier.
 func (s *Service) ID() ids.ProcessID { return s.node.ID() }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs/flight"
 )
 
 // This file implements the membership machinery: joins, leaves, suspicion
@@ -125,6 +126,8 @@ func (g *Group) maybeStartFlushLocked() {
 	g.state = stateFlushing
 	g.curProposal = prop
 	g.proposalAt = g.fl.startedAt
+	g.fr.Record(flight.Event{Type: flight.EvFlushPropose, Proc: g.frProc, Group: g.frGroup,
+		Sender: flight.NoSender, View: uint32(newSeq), A: uint64(len(target))})
 
 	enc := encodeMessage(prop)
 	for _, p := range target {
@@ -160,6 +163,8 @@ func (g *Group) makeFlushAckLocked(p *proposeMsg) *flushAckMsg {
 		return a.Seq < b.Seq
 	})
 	ack.Assigns = g.assignSnapshotLocked()
+	g.fr.Record(flight.Event{Type: flight.EvFlushAck, Proc: g.frProc, Group: g.frGroup,
+		Sender: flight.NoSender, View: uint32(p.NewSeq), A: uint64(len(ack.Unstable))})
 	return ack
 }
 
@@ -316,6 +321,8 @@ func (g *Group) handleCommit(c *commitMsg) {
 // the new view. Joiners skip the cut: old-view messages belong to members
 // of the old view only.
 func (g *Group) applyCommitLocked(c *commitMsg) {
+	g.fr.Record(flight.Event{Type: flight.EvFlushCommit, Proc: g.frProc, Group: g.frGroup,
+		Sender: flight.NoSender, View: uint32(c.NewSeq), A: uint64(len(c.Cut))})
 	if g.state != stateJoining {
 		g.mergeAssignsLocked(c.Assigns)
 		g.deliverCutLocked(c.Cut)
@@ -376,6 +383,7 @@ func (g *Group) deliverCutLocked(cut []*dataMsg) {
 			advance(m)
 		}
 		if !m.Null {
+			g.frRecord(flight.EvCutDeliver, g.midx.posOf(m.Sender), m.Seq, m.Lamport, 0)
 			g.stats.AppDelivered++
 			g.stats.CutDelivered++
 			g.metrics.appDelivered.Inc()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs/flight"
 	"newtop/internal/queue"
 	"newtop/internal/vclock"
 )
@@ -120,6 +121,13 @@ type Group struct {
 	stats   Stats
 	metrics *gcsMetrics
 
+	// Flight-recorder identity: the journal ring plus this process's and
+	// group's interned IDs. Recording is lock-free and allocation-free,
+	// so hooks run inline on the hot path.
+	fr      *flight.Recorder
+	frProc  uint16
+	frGroup uint16
+
 	// domain is the node-local total-order domain (nil when not in one);
 	// kickCh wakes the tick loop when a sibling's frontier advances.
 	domain *domainState
@@ -160,6 +168,9 @@ func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
 		cfg:           cfg,
 		me:            n.ID(),
 		metrics:       n.metrics,
+		fr:            n.fr,
+		frProc:        n.frProc,
+		frGroup:       n.fr.Group(string(id)),
 		state:         st,
 		lastHeard:     make(map[ids.ProcessID]time.Time),
 		suspects:      make(map[ids.ProcessID]bool),
@@ -178,6 +189,22 @@ func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
 	}
 	go g.tickLoop()
 	return g
+}
+
+// frRecord journals one protocol event scoped to the group's current
+// view. sender is a member position (or flight.NoSender); the recorder
+// itself is lock-free and allocation-free, so callers may hold g.mu.
+func (g *Group) frRecord(t flight.Type, sender int, msgSeq, a, b uint64) {
+	g.fr.Record(flight.Event{
+		Type:   t,
+		Proc:   g.frProc,
+		Group:  g.frGroup,
+		Sender: int16(sender),
+		View:   uint32(g.view.Seq),
+		MsgSeq: msgSeq,
+		A:      a,
+		B:      b,
+	})
 }
 
 // ID returns the group identifier.
@@ -355,6 +382,11 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 		senderIdx:     g.midx.me,
 	}
 	m.VC = g.sendVCLocked(m, g.sendSeq)
+	var isNull uint64
+	if null {
+		isNull = 1
+	}
+	g.frRecord(flight.EvMulticast, g.midx.me, m.Seq, m.Lamport, isNull)
 	if g.seqLeader {
 		if !null {
 			g.assignLocked(m.msgID())
@@ -420,6 +452,7 @@ func (g *Group) flushBatchLocked() {
 		enc = encodeMessage(&batchMsg{Group: g.id, Msgs: msgs})
 	}
 	DebugCounters.Batches.Add(1)
+	g.frRecord(flight.EvBatchFlush, g.midx.me, msgs[0].Seq, uint64(len(msgs)), 0)
 	g.stats.BatchesSent++
 	g.stats.BatchedMsgs += uint64(len(msgs))
 	g.metrics.batchesSent.Inc()
@@ -491,6 +524,7 @@ func (g *Group) assignLocked(id ids.MsgID) {
 	}
 	g.assigns[id] = g.nextGlobal
 	g.ring.set(g.nextGlobal, id)
+	g.frRecord(flight.EvAssign, g.midx.posOf(id.Sender), id.Seq, g.nextGlobal, 0)
 	if g.nextGlobal > g.assignHigh {
 		g.assignHigh = g.nextGlobal
 	}
@@ -642,10 +676,12 @@ func (g *Group) acceptDataLocked(m *dataMsg, charge bool) bool {
 		return false
 	}
 	if m.ViewSeq != g.view.Seq || m.ViewInstaller != g.view.Installer {
+		g.frRecord(flight.EvStaleDrop, int(flight.NoSender), m.Seq, m.Lamport, 0)
 		return false // stale or foreign-view traffic
 	}
 	si := g.midx.posOf(m.Sender)
 	if si < 0 {
+		g.frRecord(flight.EvStaleDrop, int(flight.NoSender), m.Seq, m.Lamport, 0)
 		return false
 	}
 	if len(m.VC) > g.midx.n() || len(m.Acks) > g.midx.n() {
@@ -662,6 +698,7 @@ func (g *Group) acceptDataLocked(m *dataMsg, charge bool) bool {
 	switch {
 	case m.Seq <= g.recvContig[si]:
 		// Duplicate (resend); acks/assigns already merged above.
+		g.frRecord(flight.EvDupDrop, si, m.Seq, m.Lamport, 0)
 	case m.Seq == g.recvContig[si]+1:
 		g.ingestContiguousLocked(m)
 		g.store[m.msgID()] = m
@@ -676,6 +713,7 @@ func (g *Group) acceptDataLocked(m *dataMsg, charge bool) bool {
 			g.store[next.msgID()] = next
 		}
 	default:
+		g.frRecord(flight.EvStash, si, m.Seq, m.Lamport, 0)
 		if g.stash[si] == nil {
 			g.stash[si] = make(map[uint64]*dataMsg)
 		}
@@ -718,6 +756,11 @@ func (g *Group) needAckLocked() bool {
 // popped from.
 func (g *Group) ingestContiguousLocked(m *dataMsg) {
 	si := m.senderIdx
+	var isNull uint64
+	if m.Null {
+		isNull = 1
+	}
+	g.frRecord(flight.EvIngest, si, m.Seq, m.Lamport, isNull)
 	g.recvContig[si] = m.Seq
 	g.pending[m.msgID()] = m
 	if st := m.stamp(); g.lastStamp[si].Less(st) {
@@ -776,6 +819,9 @@ func (g *Group) compactStableLocked() {
 			if got := g.ackMat[q*n+s]; got < min {
 				min = got
 			}
+		}
+		if min > g.stableSeq[s] {
+			g.frRecord(flight.EvStable, s, min, 0, 0)
 		}
 		g.stableSeq[s] = min
 		if d := g.delivered[s]; d < min {
@@ -1051,7 +1097,8 @@ func (g *Group) deliverLocked(m *dataMsg) {
 	id := m.msgID()
 	delete(g.pending, id)
 	g.delivered[m.senderIdx] = m.Seq
-	if global, ok := g.assigns[id]; ok && !m.Null {
+	global, hasGlobal := g.assigns[id]
+	if hasGlobal && !m.Null {
 		if global == g.delGlobal+1 {
 			g.delGlobal = global
 		} else if global > g.delGlobal {
@@ -1059,6 +1106,12 @@ func (g *Group) deliverLocked(m *dataMsg) {
 		}
 	}
 	if !m.Null {
+		// Journal B is global+1 so "unordered" (causal mode) stays distinguishable.
+		var gplus uint64
+		if hasGlobal {
+			gplus = global + 1
+		}
+		g.frRecord(flight.EvDeliver, m.senderIdx, m.Seq, m.Lamport, gplus)
 		d := &Delivery{
 			Sender:  m.Sender,
 			Payload: m.Payload,
@@ -1125,6 +1178,14 @@ func (g *Group) installViewLocked(v View) {
 	g.sendSeq = 0
 	n := len(v.Members)
 	g.midx = buildMemberIndex(g.view.Members, g.me)
+	if g.fr.Enabled() {
+		names := make([]string, n)
+		for i, p := range v.Members {
+			names[i] = string(p)
+		}
+		g.fr.SetView(g.frGroup, uint32(v.Seq), names)
+	}
+	g.frRecord(flight.EvViewInstall, int(flight.NoSender), 0, uint64(n), uint64(g.cfg.Order))
 	g.delivered = make([]uint64, n)
 	g.recvContig = make([]uint64, n)
 	g.stash = make([]map[uint64]*dataMsg, n)

@@ -8,6 +8,7 @@ import (
 
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
 	"newtop/internal/transport"
 	"newtop/internal/vclock"
 )
@@ -22,6 +23,8 @@ type Node struct {
 	dom     *domainRegistry
 	obs     *obs.Obs
 	metrics *gcsMetrics
+	fr      *flight.Recorder
+	frProc  uint16
 
 	mu     sync.Mutex
 	groups map[ids.GroupID]*Group
@@ -44,6 +47,8 @@ func NewNodeObs(ep transport.Endpoint, o *obs.Obs) *Node {
 		dom:      newDomainRegistry(),
 		obs:      o,
 		metrics:  newGCSMetrics(o),
+		fr:       o.Flight,
+		frProc:   o.Flight.Proc(string(ep.ID())),
 		groups:   make(map[ids.GroupID]*Group),
 		recvDone: make(chan struct{}),
 	}

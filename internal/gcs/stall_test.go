@@ -1,0 +1,64 @@
+package gcs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
+)
+
+// TestStallDetectorNamesPartitionedMember injects a real protocol stall —
+// a partitioned member under symmetric ordering — and checks the flight
+// recorder's stall detector diagnoses the stuck delivery frontier and
+// names the member the total order is waiting on.
+func TestStallDetectorNamesPartitionedMember(t *testing.T) {
+	h := newHarness(t, 3)
+	cfg := testConfig(gcs.OrderSymmetric)
+	// Keep the membership stable while we observe the stall: the cure for
+	// the partition (suspicion + flush) must not race the diagnosis.
+	cfg.SuspectTimeout = 5 * time.Second
+	cfg.FlushTimeout = 5 * time.Second
+	groups := h.buildGroup("stall", cfg)
+
+	rec := obs.Default().Flight
+	if !rec.Enabled() {
+		t.Skip("default flight recorder disabled")
+	}
+
+	// Cut n02 off, let in-flight frames drain, then mark the journal
+	// window so pre-partition traffic from n02 stays out of it.
+	h.net.Sim().SetPartition("n02", 1)
+	time.Sleep(20 * time.Millisecond)
+	start := rec.Cursor()
+
+	if err := groups[0].Multicast(context.Background(), []byte("stuck")); err != nil {
+		t.Fatalf("multicast: %v", err)
+	}
+	// n00 and n01 ingest the message but the symmetric order cannot pass
+	// it without traffic from n02.
+	time.Sleep(60 * time.Millisecond)
+
+	events, _ := rec.Since(start)
+	stalls := flight.DetectStalls(events, rec.Meta(), flight.StallConfig{MinAge: -1})
+	var frontier *flight.Stall
+	for i := range stalls {
+		if stalls[i].Kind == "stuck-frontier" {
+			frontier = &stalls[i]
+			break
+		}
+	}
+	if frontier == nil {
+		t.Fatalf("no stuck-frontier diagnosis; stalls: %v", stalls)
+	}
+	if !strings.Contains(frontier.Diag, "waiting on traffic from") ||
+		!strings.Contains(frontier.Diag, "n02") {
+		t.Fatalf("diagnosis does not name the partitioned member: %s", frontier)
+	}
+
+	// Heal so teardown (leave/flush) completes promptly.
+	h.net.Sim().SetPartition("n02", 0)
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs/flight"
 )
 
 // This file implements the group's timer-driven machinery: the
@@ -168,6 +169,7 @@ func (g *Group) resendLocked(now time.Time) {
 		if known+resendBurst < end {
 			end = known + resendBurst
 		}
+		g.frRecord(flight.EvResend, qi, known+1, end, g.sendSeq)
 		for seq := known + 1; seq <= end; seq++ {
 			DebugCounters.Resend.Add(1)
 			g.stats.Resent++

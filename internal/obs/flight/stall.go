@@ -1,0 +1,505 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stall is one diagnosed protocol stall.
+type Stall struct {
+	// Kind is the stall class: "stuck-frontier", "silent-member",
+	// "frozen-stability", "ack-stall", "sendq-saturation", "resend-storm".
+	Kind string
+	// Proc is the process whose journal produced the diagnosis.
+	Proc string
+	// Diag is the human-readable diagnosis.
+	Diag string
+}
+
+func (s Stall) String() string { return fmt.Sprintf("[%s] %s: %s", s.Kind, s.Proc, s.Diag) }
+
+// StallConfig tunes the detector. The zero value means defaults.
+type StallConfig struct {
+	// MinAge is how long a message may sit ingested-but-undelivered, and
+	// how far stability may trail ingest, before the detector flags it.
+	// Negative means "flag immediately" (used by tests); zero means the
+	// 750ms default.
+	MinAge time.Duration
+	// Window is the tail window inspected for rate-based diagnoses
+	// (silent members, sendq drops, resend storms). Default 5s.
+	Window time.Duration
+	// ResendStorm is the resend-burst count in Window that constitutes a
+	// storm. Default 50.
+	ResendStorm int
+	// MinActivity is the minimum ingest count in Window before a member
+	// with zero ingests is called silent. Default 20.
+	MinActivity int
+}
+
+func (c StallConfig) withDefaults() StallConfig {
+	if c.MinAge == 0 {
+		c.MinAge = 750 * time.Millisecond
+	}
+	if c.MinAge < 0 {
+		c.MinAge = 0
+	}
+	if c.Window <= 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.ResendStorm <= 0 {
+		c.ResendStorm = 50
+	}
+	if c.MinActivity <= 0 {
+		c.MinActivity = 20
+	}
+	return c
+}
+
+// memberState is what the detector tracks per member position of one
+// (proc, group, view) journal stream.
+type memberState struct {
+	maxLamport uint64
+	maxIngSeq  uint64
+	lastIngAt  int64
+	ingWindow  int // ingests inside the tail window
+	floor      uint64
+	floorAt    int64
+	resends    int
+	resendFrom uint64 // first resend's starting seq
+	resendLast uint64 // latest resend's starting seq
+	resendTo   uint64
+}
+
+// pendingMsg is an ingested-but-undelivered application message.
+type pendingMsg struct {
+	seq     uint64
+	lamport uint64
+	at      int64
+}
+
+// streamKey scopes detector state to one group view as seen by one proc.
+type streamKey struct {
+	proc  uint16
+	group uint16
+	view  uint32
+}
+
+type streamState struct {
+	installedAt int64
+	members     []*memberState
+	pending     map[int16][]pendingMsg // sender pos → undelivered
+	resendTotal int
+}
+
+func (st *streamState) member(pos int16) *memberState {
+	if pos < 0 {
+		return &memberState{}
+	}
+	for int(pos) >= len(st.members) {
+		st.members = append(st.members, &memberState{})
+	}
+	return st.members[pos]
+}
+
+// DetectStalls replays an event set and reports every diagnosable stall:
+// frozen stability frontiers, members missing from the ack matrix (silent
+// or un-acking), stuck delivery frontiers (with the member the total
+// order is waiting on), transport send-queue saturation and resend
+// storms. It is a heuristic monitor — an empty result is "nothing looks
+// stuck", not a proof of liveness.
+func DetectStalls(events []Event, m *Meta, cfg StallConfig) []Stall {
+	cfg = cfg.withDefaults()
+	if len(events) == 0 {
+		return nil
+	}
+	end := events[0].At
+	for _, e := range events {
+		if e.At > end {
+			end = e.At
+		}
+	}
+	winStart := end - int64(cfg.Window)
+
+	streams := make(map[streamKey]*streamState)
+	type dropKey struct {
+		proc uint16
+		peer int16
+	}
+	sendqDrops := make(map[dropKey]int)
+
+	get := func(e Event) *streamState {
+		k := streamKey{e.Proc, e.Group, e.View}
+		st, ok := streams[k]
+		if !ok {
+			st = &streamState{installedAt: e.At, pending: make(map[int16][]pendingMsg)}
+			streams[k] = st
+		}
+		return st
+	}
+
+	for _, e := range events {
+		switch e.Type {
+		case EvViewInstall:
+			st := get(e)
+			st.installedAt = e.At
+		case EvMulticast:
+			st := get(e)
+			ms := st.member(e.Sender)
+			if e.A > ms.maxLamport {
+				ms.maxLamport = e.A
+			}
+		case EvIngest:
+			st := get(e)
+			ms := st.member(e.Sender)
+			if e.A > ms.maxLamport {
+				ms.maxLamport = e.A
+			}
+			if e.MsgSeq > ms.maxIngSeq {
+				ms.maxIngSeq = e.MsgSeq
+			}
+			ms.lastIngAt = e.At
+			if e.At >= winStart {
+				ms.ingWindow++
+			}
+			if e.B != 1 { // app message: undelivered until EvDeliver
+				st.pending[e.Sender] = append(st.pending[e.Sender], pendingMsg{seq: e.MsgSeq, lamport: e.A, at: e.At})
+			}
+		case EvDeliver, EvCutDeliver:
+			st := get(e)
+			pend := st.pending[e.Sender]
+			for i, p := range pend {
+				if p.seq == e.MsgSeq {
+					st.pending[e.Sender] = append(pend[:i], pend[i+1:]...)
+					break
+				}
+			}
+		case EvStable:
+			st := get(e)
+			ms := st.member(e.Sender)
+			if e.MsgSeq > ms.floor {
+				ms.floor = e.MsgSeq
+			}
+			ms.floorAt = e.At
+		case EvResend:
+			st := get(e)
+			ms := st.member(e.Sender)
+			if ms.resends == 0 {
+				ms.resendFrom = e.MsgSeq
+			}
+			ms.resends++
+			ms.resendLast = e.MsgSeq
+			if e.A > ms.resendTo {
+				ms.resendTo = e.A
+			}
+			if e.At >= winStart {
+				st.resendTotal++
+			}
+		case EvTCPDropFull:
+			if e.At >= winStart {
+				sendqDrops[dropKey{e.Proc, e.Sender}]++
+			}
+		}
+	}
+
+	var out []Stall
+	add := func(proc uint16, kind, format string, args ...any) {
+		out = append(out, Stall{Kind: kind, Proc: m.ProcName(proc), Diag: fmt.Sprintf(format, args...)})
+	}
+
+	// Deterministic iteration order for stable output.
+	keys := make([]streamKey, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		if a.group != b.group {
+			return a.group < b.group
+		}
+		return a.view < b.view
+	})
+
+	for _, k := range keys {
+		st := streams[k]
+		gname := m.GroupName(k.group)
+		memberName := func(pos int) string { return m.MemberName(k.group, k.view, int16(pos)) }
+		nMembers := len(m.Members(k.group, k.view))
+		if nMembers < len(st.members) {
+			nMembers = len(st.members)
+		}
+
+		// Stuck delivery frontier: an ingested message is old but
+		// undelivered. Name the members whose Lamport frontier has not
+		// passed the message's stamp — the traffic the total order is
+		// waiting on.
+		senders := make([]int16, 0, len(st.pending))
+		for pos := range st.pending {
+			senders = append(senders, pos)
+		}
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+		for _, pos := range senders {
+			oldest := pendingMsg{at: end + 1}
+			for _, p := range st.pending[pos] {
+				if p.at < oldest.at {
+					oldest = p
+				}
+			}
+			if oldest.at > end || end-oldest.at < int64(cfg.MinAge) {
+				continue
+			}
+			var blockers []string
+			for q := 0; q < nMembers; q++ {
+				var ml uint64
+				if q < len(st.members) {
+					ml = st.members[q].maxLamport
+				}
+				if int16(q) != pos && ml <= oldest.lamport {
+					blockers = append(blockers, fmt.Sprintf("%s (last heard lamport %d)", memberName(q), ml))
+				}
+			}
+			diag := fmt.Sprintf("group %s v%d: message %s#%d (lamport %d) ingested %v ago but undelivered",
+				gname, k.view, memberName(int(pos)), oldest.seq, oldest.lamport,
+				time.Duration(end-oldest.at).Round(time.Millisecond))
+			if len(blockers) > 0 {
+				diag += "; total order is waiting on traffic from " + join(blockers)
+			}
+			add(k.proc, "stuck-frontier", "%s", diag)
+		}
+
+		// Silent member: zero ingests in the tail window from one
+		// position while the rest of the group is clearly active. A
+		// silent member contributes no acks, so it is also the member
+		// missing from the ack matrix.
+		totalWindow := 0
+		for _, ms := range st.members {
+			totalWindow += ms.ingWindow
+		}
+		if totalWindow >= cfg.MinActivity {
+			for q := 0; q < nMembers; q++ {
+				var ms memberState
+				if q < len(st.members) {
+					ms = *st.members[q]
+				}
+				if ms.ingWindow == 0 && ms.maxIngSeq == 0 && ms.maxLamport == 0 {
+					add(k.proc, "silent-member",
+						"group %s v%d: no traffic ingested from %s while the group saw %d messages; its row of the ack matrix cannot advance",
+						gname, k.view, memberName(q), totalWindow)
+				}
+			}
+		}
+
+		// Frozen stability frontier: a sender keeps being ingested but
+		// its stability floor stopped advancing (some member is not
+		// acknowledging it).
+		for q := 0; q < len(st.members); q++ {
+			ms := st.members[q]
+			if ms.maxIngSeq == 0 {
+				continue
+			}
+			base := ms.floorAt
+			if base == 0 {
+				base = st.installedAt
+			}
+			if ms.maxIngSeq > ms.floor && ms.lastIngAt-base > int64(cfg.MinAge) {
+				add(k.proc, "frozen-stability",
+					"group %s v%d: stability frontier for %s frozen at seq %d while seq %d has been ingested (%v of unacknowledged traffic)",
+					gname, k.view, memberName(q), ms.floor, ms.maxIngSeq,
+					time.Duration(ms.lastIngAt-base).Round(time.Millisecond))
+			}
+		}
+
+		// Ack stall: repeated go-back-N resends to the same member whose
+		// resend window start never advanced — it is receiving resends
+		// but its acks are not coming back.
+		for q := 0; q < len(st.members); q++ {
+			ms := st.members[q]
+			if ms.resends >= 3 && ms.resendLast <= ms.resendFrom {
+				add(k.proc, "ack-stall",
+					"group %s v%d: resent seqs %d-%d to %s %d times with no ack progress; it is missing from the ack matrix",
+					gname, k.view, ms.resendFrom, ms.resendTo, memberName(q), ms.resends)
+			}
+		}
+
+		if st.resendTotal > cfg.ResendStorm {
+			add(k.proc, "resend-storm",
+				"group %s v%d: %d resend bursts in the last %v (threshold %d)",
+				gname, k.view, st.resendTotal, cfg.Window, cfg.ResendStorm)
+		}
+	}
+
+	// Transport send-queue saturation.
+	dropKeys := make([]dropKey, 0, len(sendqDrops))
+	for k := range sendqDrops {
+		dropKeys = append(dropKeys, k)
+	}
+	sort.Slice(dropKeys, func(i, j int) bool {
+		if dropKeys[i].proc != dropKeys[j].proc {
+			return dropKeys[i].proc < dropKeys[j].proc
+		}
+		return dropKeys[i].peer < dropKeys[j].peer
+	})
+	for _, k := range dropKeys {
+		peer := "-"
+		if k.peer >= 0 {
+			peer = m.ProcName(uint16(k.peer))
+		}
+		add(k.proc, "sendq-saturation",
+			"send queue to %s saturated: %d frames dropped in the last %v",
+			peer, sendqDrops[k], cfg.Window)
+	}
+	return out
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// CheckOrder verifies the delivery-order invariants visible in a journal:
+// per (proc, group, view, sender) delivered seqs must advance without
+// regression or duplication (and without gaps when strict — pass strict
+// only when no events were dropped from the window; seqs consumed by
+// ingested nulls are not gaps, nulls are never delivered), and for totally
+// ordered views every pair of processes must agree on the relative order
+// of the application messages they both delivered.
+func CheckOrder(events []Event, m *Meta, strict bool) []string {
+	var violations []string
+
+	type senderKey struct {
+		proc   uint16
+		group  uint16
+		view   uint32
+		sender int16
+	}
+	prev := make(map[senderKey]uint64)
+	nulls := make(map[senderKey]map[uint64]bool)
+
+	type procKey struct {
+		proc  uint16
+		group uint16
+		view  uint32
+	}
+	delivered := make(map[procKey][]MsgKey)
+	totalViews := make(map[viewKey]bool)
+	procsSeen := make(map[procKey]bool)
+
+	// allNull reports whether every seq in (lo, hi) was ingested as a null
+	// by this proc — such seqs are consumed but never delivered.
+	allNull := func(sk senderKey, lo, hi uint64) bool {
+		ns := nulls[sk]
+		for s := lo + 1; s < hi; s++ {
+			if !ns[s] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, e := range events {
+		switch e.Type {
+		case EvViewInstall:
+			if mode := e.B; mode == 2 || mode == 3 { // OrderSymmetric, OrderSequencer
+				totalViews[viewKey{e.Group, e.View}] = true
+			}
+		case EvIngest:
+			if e.B == 1 {
+				sk := senderKey{e.Proc, e.Group, e.View, e.Sender}
+				if nulls[sk] == nil {
+					nulls[sk] = make(map[uint64]bool)
+				}
+				nulls[sk][e.MsgSeq] = true
+			}
+		case EvDeliver, EvCutDeliver:
+			sk := senderKey{e.Proc, e.Group, e.View, e.Sender}
+			if p, ok := prev[sk]; ok {
+				switch {
+				case e.MsgSeq <= p:
+					violations = append(violations,
+						fmt.Sprintf("%s: group %s v%d delivered %s#%d after #%d (regression)",
+							m.ProcName(e.Proc), m.GroupName(e.Group), e.View,
+							m.MemberName(e.Group, e.View, e.Sender), e.MsgSeq, p))
+				case strict && e.Type == EvDeliver && e.MsgSeq != p+1 && !allNull(sk, p, e.MsgSeq):
+					violations = append(violations,
+						fmt.Sprintf("%s: group %s v%d delivered %s#%d after #%d (gap)",
+							m.ProcName(e.Proc), m.GroupName(e.Group), e.View,
+							m.MemberName(e.Group, e.View, e.Sender), e.MsgSeq, p))
+				}
+			}
+			prev[sk] = e.MsgSeq
+			if e.Type == EvDeliver {
+				pk := procKey{e.Proc, e.Group, e.View}
+				procsSeen[pk] = true
+				delivered[pk] = append(delivered[pk], MsgKey{e.Group, e.View, e.Sender, e.MsgSeq})
+			}
+		}
+	}
+
+	// Pairwise total-order agreement.
+	byView := make(map[viewKey][]procKey)
+	for pk := range procsSeen {
+		vk := viewKey{pk.group, pk.view}
+		if totalViews[vk] {
+			byView[vk] = append(byView[vk], pk)
+		}
+	}
+	vks := make([]viewKey, 0, len(byView))
+	for vk := range byView {
+		vks = append(vks, vk)
+	}
+	sort.Slice(vks, func(i, j int) bool {
+		if vks[i].Group != vks[j].Group {
+			return vks[i].Group < vks[j].Group
+		}
+		return vks[i].View < vks[j].View
+	})
+	for _, vk := range vks {
+		procs := byView[vk]
+		sort.Slice(procs, func(i, j int) bool { return procs[i].proc < procs[j].proc })
+		for i := 0; i < len(procs); i++ {
+			for j := i + 1; j < len(procs); j++ {
+				a, b := delivered[procs[i]], delivered[procs[j]]
+				if v := orderDisagreement(a, b); v != "" {
+					violations = append(violations,
+						fmt.Sprintf("group %s v%d: %s and %s disagree on total order: %s",
+							m.GroupName(vk.Group), vk.View,
+							m.ProcName(procs[i].proc), m.ProcName(procs[j].proc), v))
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// orderDisagreement checks that the messages common to two delivery
+// sequences appear in the same relative order, returning a description of
+// the first inversion or "".
+func orderDisagreement(a, b []MsgKey) string {
+	pos := make(map[MsgKey]int, len(a))
+	for i, k := range a {
+		pos[k] = i
+	}
+	last := -1
+	var lastKey MsgKey
+	for _, k := range b {
+		i, ok := pos[k]
+		if !ok {
+			continue
+		}
+		if i < last {
+			return fmt.Sprintf("sender %d seq %d delivered before sender %d seq %d on one but after on the other",
+				k.Sender, k.Seq, lastKey.Sender, lastKey.Seq)
+		}
+		last, lastKey = i, k
+	}
+	return ""
+}

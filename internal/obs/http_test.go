@@ -2,10 +2,13 @@ package obs
 
 import (
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"newtop/internal/obs/flight"
 )
 
 func TestHandlerMetricsAndTraces(t *testing.T) {
@@ -39,5 +42,97 @@ func TestHandlerMetricsAndTraces(t *testing.T) {
 	traces := get("/traces?n=4")
 	if !strings.Contains(traces, "trace 0000000000000042") || !strings.Contains(traces, "client.invoke") {
 		t.Fatalf("bad /traces body:\n%s", traces)
+	}
+}
+
+func TestHandlerJournal(t *testing.T) {
+	o := New()
+	p := o.Flight.Proc("n1")
+	g := o.Flight.Group("grp")
+	o.Flight.SetView(g, 1, []string{"n1", "n2"})
+	o.Flight.Record(flight.Event{Type: flight.EvMulticast, Proc: p, Group: g, Sender: 0, View: 1, MsgSeq: 1, A: 3})
+	o.Flight.Record(flight.Event{Type: flight.EvDeliver, Proc: p, Group: g, Sender: 0, View: 1, MsgSeq: 1, A: 3})
+
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	journal := get("/journal")
+	for _, want := range []string{"journal cursor=2 events=2 dropped=0", "multicast", "deliver", "grp/v1"} {
+		if !strings.Contains(journal, want) {
+			t.Fatalf("/journal missing %q:\n%s", want, journal)
+		}
+	}
+
+	// Cursor paging: only events after the cursor come back.
+	tail := get("/journal?since=1")
+	if !strings.Contains(tail, "events=1") || strings.Contains(tail, "multicast") {
+		t.Fatalf("/journal?since=1 returned the wrong window:\n%s", tail)
+	}
+
+	analyze := get("/journal/analyze")
+	for _, want := range []string{"stage", "queue-wait", "ordering-wait", "stalls: none detected", "order: no violations"} {
+		if !strings.Contains(analyze, want) {
+			t.Fatalf("/journal/analyze missing %q:\n%s", want, analyze)
+		}
+	}
+}
+
+func TestHandlerPromFormat(t *testing.T) {
+	o := New()
+	o.Reg.Counter("transport_msgs_sent").Add(5)
+	o.Reg.Gauge("gcs_groups").Set(2)
+	o.Reg.Histogram("core_invoke_latency_first").Observe(2 * time.Millisecond)
+
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	fetch := func(path, accept string) (string, string) {
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	prom, ctype := fetch("/metrics?format=prom", "")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("prom content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE transport_msgs_sent counter",
+		"transport_msgs_sent 5",
+		"# TYPE gcs_groups gauge",
+		"core_invoke_latency_first_seconds_count 1",
+		`quantile="0.95"`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	// Accept negotiation selects prom too; the default stays the compact
+	// text format.
+	negotiated, _ := fetch("/metrics", "text/plain; version=0.0.4")
+	if !strings.Contains(negotiated, "# TYPE transport_msgs_sent counter") {
+		t.Fatalf("Accept negotiation did not select prom:\n%s", negotiated)
+	}
+	plain, _ := fetch("/metrics", "")
+	if strings.Contains(plain, "# TYPE") {
+		t.Fatalf("default format changed:\n%s", plain)
 	}
 }

@@ -14,18 +14,26 @@
 // map, and the transport send path performs no allocation.
 package obs
 
-// Obs bundles one process's (or one experiment's) registry and tracer.
-// Layers receive an *Obs at construction; passing nil is not supported —
-// use Default() for the process-wide instance or New() for an isolated
-// one (the bench harness isolates each experiment world this way).
+import "newtop/internal/obs/flight"
+
+// Obs bundles one process's (or one experiment's) registry, tracer and
+// protocol flight recorder. Layers receive an *Obs at construction;
+// passing nil is not supported — use Default() for the process-wide
+// instance or New() for an isolated one (the bench harness isolates each
+// experiment world this way).
 type Obs struct {
 	Reg    *Registry
 	Tracer *Tracer
+	// Flight is the protocol event journal, served at /journal. The
+	// default ring is small; processes that want deep history (benches,
+	// newtop-node -journal) swap in a larger one at startup, before any
+	// instrumented layer is constructed.
+	Flight *flight.Recorder
 }
 
 // New returns a fresh, independent observability domain.
 func New() *Obs {
-	return &Obs{Reg: NewRegistry(), Tracer: NewTracer(DefaultTraceCap)}
+	return &Obs{Reg: NewRegistry(), Tracer: NewTracer(DefaultTraceCap), Flight: flight.New(flight.DefaultCap)}
 }
 
 // defaultObs is the process-wide domain used by constructors that were not

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), so standard scrapers can consume the registry:
+// counters and gauges keep their names, histograms become summaries with
+// quantile labels and _sum/_count/_max series, durations in seconds.
+// Instrument names are already in the prom-safe [a-zA-Z0-9_] alphabet
+// (Sanitize enforces it at registration).
+func (s Snapshot) WriteProm(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	for _, n := range names {
+		h := s.Hists[n]
+		base := n + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", base)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", base, sec(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", base, sec(h.P95))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", base, sec(h.P99))
+		fmt.Fprintf(w, "%s_sum %g\n", base, sec(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", base, h.Count)
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %g\n", base, base, sec(h.Max))
+	}
+}

@@ -188,8 +188,15 @@ func TestJoinCatchesUp(t *testing.T) {
 	if v := m.value.Load(); v != 10 {
 		t.Fatalf("joined replica at %d, want 10", v)
 	}
-	if len(rep.Roster()) != 3 {
-		t.Fatalf("roster %v", rep.Roster())
+	// Join guarantees the machine state is caught up, but the newcomer
+	// learns the server roster from the members' hello re-announcements,
+	// which arrive through the group after the snapshot transfer.
+	rosterDeadline := time.Now().Add(10 * time.Second)
+	for len(rep.Roster()) != 3 {
+		if time.Now().After(rosterDeadline) {
+			t.Fatalf("roster %v", rep.Roster())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 
 	// Subsequent writes reach the newcomer too.

@@ -45,6 +45,7 @@ import (
 
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
 	"newtop/internal/transport"
 )
 
@@ -128,6 +129,10 @@ type Endpoint struct {
 
 	fifo *transport.FIFO
 	met  *metrics
+	// Flight-recorder identity (the obs domain's journal); transport
+	// events attribute peers by interned proc ID in the Sender field.
+	fr     *flight.Recorder
+	frProc uint16
 
 	// readers recycles per-connection bufio buffers across connections
 	// (their bytes never escape the read loop, unlike arena chunks).
@@ -167,6 +172,8 @@ func ListenConfig(id ids.ProcessID, addr string, cfg Config) (*Endpoint, error) 
 		adv:    cfg.AdvertiseAddr,
 		fifo:   transport.NewFIFO(),
 		met:    newMetrics(cfg.Obs, id),
+		fr:     cfg.Obs.Flight,
+		frProc: cfg.Obs.Flight.Proc(string(id)),
 		peers:  make(map[ids.ProcessID]string),
 		pipes:  make(map[ids.ProcessID]*pipe),
 		inConn: make(map[ids.ProcessID]net.Conn),
@@ -338,6 +345,8 @@ type pipe struct {
 	conn   net.Conn // owned by run(); closed by shutdown to interrupt a blocked write
 
 	attempts uint64 // dial attempts, run()-local bookkeeping
+
+	frPeer int16 // the peer's interned flight-recorder proc ID
 }
 
 func newPipe(e *Endpoint, to ids.ProcessID) *pipe {
@@ -349,7 +358,13 @@ func newPipe(e *Endpoint, to ids.ProcessID) *pipe {
 		cancel: cancel,
 		ring:   make([][]byte, e.cfg.QueueLen),
 		wake:   make(chan struct{}, 1),
+		frPeer: int16(e.fr.Proc(string(to))),
 	}
+}
+
+// frRecord journals one transport event against a peer.
+func (e *Endpoint) frRecord(t flight.Type, peer int16, a, b uint64) {
+	e.fr.Record(flight.Event{Type: t, Proc: e.frProc, Sender: peer, A: a, B: b})
 }
 
 // enqueue appends one frame; it never blocks. A full queue drops the
@@ -364,6 +379,7 @@ func (p *pipe) enqueue(payload []byte) {
 	if p.count == len(p.ring) {
 		p.mu.Unlock()
 		p.e.met.dropsFull.Inc()
+		p.e.frRecord(flight.EvTCPDropFull, p.frPeer, 0, 0)
 		return
 	}
 	p.ring[(p.head+p.count)%len(p.ring)] = payload
@@ -506,11 +522,13 @@ func (p *pipe) run() {
 				// background before the next batch.
 				p.dropConn(conn)
 				p.e.met.dropsConn.Add(uint64(len(batch)))
+				p.e.frRecord(flight.EvTCPDropConn, p.frPeer, uint64(len(batch)), 0)
 				continue
 			}
 			p.e.met.flushes.Inc()
 			p.e.met.framesSent.Add(uint64(len(batch)))
 			p.e.met.bytesSent.Add(uint64(total))
+			p.e.frRecord(flight.EvTCPFlush, p.frPeer, uint64(len(batch)), uint64(total))
 		}
 	}
 }
@@ -544,6 +562,7 @@ func (p *pipe) ensure(backoff *time.Duration) net.Conn {
 			p.connMu.Unlock()
 			*backoff = p.e.cfg.RedialMin
 			p.e.met.connects.Inc()
+			p.e.frRecord(flight.EvTCPConnect, p.frPeer, p.attempts, 1)
 			return conn
 		}
 		p.e.met.dialFails.Inc()
@@ -723,6 +742,7 @@ func (e *Endpoint) handshake(conn net.Conn, br *bufio.Reader) (ids.ProcessID, bo
 		}
 	}
 	e.mu.Unlock()
+	e.frRecord(flight.EvTCPConnect, int16(e.fr.Proc(string(from))), 0, 0)
 	return from, true
 }
 

@@ -2,16 +2,27 @@ package tcpnet_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"newtop/internal/ids"
+	"newtop/internal/obs"
+	"newtop/internal/obs/flight"
 	"newtop/internal/transport"
 	"newtop/internal/transport/tcpnet"
 )
 
+// dumpRegistered dedupes the per-test journal-dump registration: listen
+// is called once per endpoint but the dump should register once per test.
+var dumpRegistered sync.Map
+
 func listen(t *testing.T, id ids.ProcessID) *tcpnet.Endpoint {
 	t.Helper()
+	if _, loaded := dumpRegistered.LoadOrStore(t, true); !loaded {
+		flight.DumpOnFailure(t, obs.Default().Flight, 0)
+		t.Cleanup(func() { dumpRegistered.Delete(t) })
+	}
 	ep, err := tcpnet.Listen(id, "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen %s: %v", id, err)
