@@ -10,7 +10,8 @@
 # unsynchronised counter. newtop-lint is the protocol-aware static pass:
 # wire encode/decode symmetry, no blocking under event-loop mutexes, no
 # wall clock in ordering decisions, no orphaned goroutines, no silently
-# dropped send errors (see README "Static analysis").
+# dropped send errors, and static per-entry-point allocation budgets over
+# the hot-path call graph (see README "Static analysis").
 set -eu
 
 cd "$(dirname "$0")"
@@ -18,8 +19,24 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
-echo "== newtop-lint =="
-go run ./cmd/newtop-lint ./...
+if [ "${CI_SHORT:-0}" = "1" ]; then
+	# One combined invocation: every rule (allocflow included) shares the
+	# loader's type-checked package cache, so the quick loop pays the
+	# standard-library source-import cost exactly once.
+	echo "== newtop-lint (all rules, combined) =="
+	go run ./cmd/newtop-lint ./...
+else
+	echo "== newtop-lint =="
+	go run ./cmd/newtop-lint -rules wiresym,wirepool,lockblock,detclock,goorphan,errdrop ./...
+
+	# Static allocation budgets: every hot-path entry point in the
+	# internal/lint manifest must keep its reachable allocation-site count
+	# under its ceiling (see DESIGN.md §13). A new composite literal,
+	# boxing conversion or growing append anywhere in an entry point's
+	# call closure fails here with the offending sites listed.
+	echo "== static alloc budgets =="
+	go run ./cmd/newtop-lint -rules allocflow ./...
+fi
 
 echo "== go build =="
 go build ./...

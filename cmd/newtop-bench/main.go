@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -52,6 +53,7 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		jsonOut    = fs.Bool("json", false, "also write each result to BENCH_<id>.json")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf    = fs.String("memprofile", "", "write an allocation profile of the selected experiments to this file (sets MemProfileRate=1: every allocation is recorded)")
 		jcheck     = fs.Bool("journal-check", false, "run the flight-recorder stall detector and delivery-order verifier over each journal-instrumented run; fail on findings")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +63,22 @@ func run(args []string) error {
 	// A ring big enough for a whole measured point, so the per-stage
 	// decomposition and the journal checks see every event of a run.
 	bench.EnableFlightJournal(0)
+
+	if *memProf != "" {
+		// Record every allocation so the profile's alloc_objects counts are
+		// exact, matching what the alloc-budget stages measure.
+		runtime.MemProfileRate = 1
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "newtop-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.Lookup("allocs").WriteTo(f, 0)
+		}()
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -2,22 +2,29 @@
 // the module: wiresym (wire envelope encode/decode symmetry), lockblock
 // (no blocking operations under event-loop mutexes), detclock (no wall
 // clock or randomness in protocol decisions), goorphan (every unbounded
-// goroutine has a stop signal) and errdrop (send-path errors dropped only
-// with an annotated reason). It is a ci.sh stage: any finding that is not
-// suppressed with an inline `//lint:ok <rule> <reason>` directive fails
-// the build.
+// goroutine has a stop signal), errdrop (send-path errors dropped only
+// with an annotated reason) and allocflow (static per-entry-point
+// allocation budgets over the hot-path call graph). It is a ci.sh stage:
+// any finding that is not suppressed with an inline `//lint:ok <rule>
+// <reason>` directive fails the build, and a directive that suppresses
+// nothing is itself a finding.
 //
 // Usage:
 //
-//	newtop-lint [-rules wiresym,errdrop] [packages]
+//	newtop-lint [-rules wiresym,errdrop] [-json] [packages]
 //
-// Packages default to ./... and support the go tool's /... suffix. The
-// engine is stdlib-only (go/parser + go/types + go/importer): the first
-// run type-checks the standard library from source, so it takes a few
-// seconds.
+// Packages default to ./... and support the go tool's /... suffix. All
+// selected packages are loaded first and checked as one module-level set:
+// per-package rules are scoped by their Applies gate, module-level rules
+// (allocflow) see every package at once, and the loader cache is shared
+// across all rules, so one invocation pays the standard-library
+// type-check exactly once. Diagnostics print in stable (file, line,
+// column, rule) order; -json emits the same list as a JSON array for CI
+// diffing and editor tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,7 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := flag.Bool("list", false, "list the available rules and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers, err := lint.AnalyzersNamed(*rules)
@@ -66,6 +74,7 @@ func main() {
 	}
 
 	exit := 0
+	var pkgs []*lint.Package
 	for _, path := range paths {
 		pkg, err := ld.Load(path)
 		if err != nil {
@@ -73,30 +82,51 @@ func main() {
 			exit = 2
 			continue
 		}
-		var scoped []*lint.Analyzer
-		for _, a := range analyzers {
-			if a.Applies == nil || a.Applies(path) {
-				scoped = append(scoped, a)
-			}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.CheckModule(pkgs, analyzers)
+	if len(diags) > 0 && exit == 0 {
+		exit = 1
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			File   string `json:"file"`
+			Line   int    `json:"line"`
+			Column int    `json:"column"`
+			Rule   string `json:"rule"`
+			Msg    string `json:"msg"`
 		}
-		if len(scoped) == 0 {
-			continue
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:   relFile(wd, d.Pos.Filename),
+				Line:   d.Pos.Line,
+				Column: d.Pos.Column,
+				Rule:   d.Rule,
+				Msg:    d.Msg,
+			})
 		}
-		for _, d := range lint.Check([]*lint.Package{pkg}, scoped) {
-			fmt.Println(relPos(wd, d))
-			if exit == 0 {
-				exit = 1
-			}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 2
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relFile(wd, d.Pos.Filename)
+			fmt.Println(d)
 		}
 	}
 	os.Exit(exit)
 }
 
-// relPos renders a diagnostic with its filename relative to the working
-// directory, the format editors and CI logs expect.
-func relPos(wd string, d lint.Diagnostic) string {
-	if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		d.Pos.Filename = rel
+// relFile renders a filename relative to the working directory, the format
+// editors and CI logs expect.
+func relFile(wd, name string) string {
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
-	return d.String()
+	return name
 }

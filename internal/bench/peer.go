@@ -93,18 +93,39 @@ func encodePeerMsg(m peerMsg, size int) []byte {
 	w.String(string(m.Sender))
 	w.Uvarint(m.Seq)
 	w.Varint(m.SentAt)
-	b := w.Detach()
-	wire.PutWriter(w)
-	for len(b) < size {
-		b = append(b, '.')
+	enc := w.Bytes()
+	// One exact-size allocation, padding included; the detach-then-append
+	// version paid an extra growth allocation per message just for the
+	// padding dots.
+	n := len(enc)
+	if n < size {
+		n = size
 	}
+	b := make([]byte, n)
+	copy(b, enc)
+	for i := len(enc); i < n; i++ {
+		b[i] = '.'
+	}
+	wire.PutWriter(w)
 	return b
 }
 
-func decodePeerMsg(b []byte) (peerMsg, bool) {
+// decodePeerMsg parses one payload; intern maps repeat sender identifiers
+// to their first-seen string so a consumer that sees every member's
+// messages thousands of times does not allocate a fresh sender string per
+// delivery (each consumer goroutine owns its map).
+func decodePeerMsg(b []byte, intern map[string]ids.ProcessID) (peerMsg, bool) {
 	r := wire.NewReader(b)
+	sb := r.BlobRef()
+	var sender ids.ProcessID
+	if p, ok := intern[string(sb)]; ok {
+		sender = p
+	} else {
+		sender = ids.ProcessID(sb)
+		intern[string(sender)] = sender
+	}
 	m := peerMsg{
-		Sender: ids.ProcessID(r.String()),
+		Sender: sender,
 		Seq:    r.Uvarint(),
 		SentAt: r.Varint(),
 	}
@@ -229,11 +250,12 @@ func runPeerPoint(ctx context.Context, cfg PeerConfig, members int) (PeerPoint, 
 		go func() {
 			defer consumers.Done()
 			me := g.Me()
+			intern := make(map[string]ids.ProcessID, members)
 			for ev := range g.Events() {
 				if ev.Type != gcs.EventDeliver {
 					continue
 				}
-				m, ok := decodePeerMsg(ev.Deliver.Payload)
+				m, ok := decodePeerMsg(ev.Deliver.Payload, intern)
 				if !ok {
 					continue
 				}

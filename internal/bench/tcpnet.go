@@ -55,12 +55,15 @@ func runTCPNet(ctx context.Context, sc Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Read the heap before the journal analysis: the lifecycle analyzer
+		// allocates freely and must not be charged to the protocol's
+		// per-message budget.
+		runtime.GC()
+		runtime.ReadMemStats(&after)
 		dec, jerr := jr.finish("tcpnet/"+order.String(), sc.JournalCheck)
 		if jerr != nil {
 			return nil, jerr
 		}
-		runtime.GC()
-		runtime.ReadMemStats(&after)
 
 		p := pts[0]
 		msgs := float64(members * sc.PeerMessages)

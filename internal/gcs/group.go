@@ -90,6 +90,18 @@ type Group struct {
 	// in the store, so a view change can simply drop the buffer: the flush
 	// protocol recovers them through the commit's cut.
 	batchBuf []*dataMsg
+	// delivArena carves Delivery headers out of chunks of deliveryChunk so
+	// the per-delivery allocation is amortised; a chunk is surrendered to
+	// the GC once fully carved (each Delivery is handed to the application
+	// exactly once, so carved slots are never reused).
+	delivArena []Delivery
+	// msgArena carves this member's own outbound dataMsg envelopes the
+	// same way (the receive side has its twin in decoder.msgs). Slots are
+	// never reused, so store/pending retention is safe; the GC reclaims a
+	// chunk when its last message dies.
+	msgArena []dataMsg
+	// coordScratch is the reusable live-member buffer of actingCoordinator.
+	coordScratch []ids.ProcessID
 
 	// Liveness machinery.
 	lastSentAt time.Time
@@ -152,6 +164,10 @@ var (
 	testOrderPreStep func(g *Group)
 	testOrderChoice  func(g *Group, chosen *dataMsg)
 )
+
+// deliveryChunk is how many Delivery headers one arena chunk carves; see
+// Group.delivArena.
+const deliveryChunk = 64
 
 // flushCoord is the coordinator-side state of one membership change round.
 type flushCoord struct {
@@ -249,12 +265,13 @@ func (g *Group) Sequencer() ids.ProcessID { return g.Coordinator() }
 
 // actingCoordinator is the leader among non-suspected members (mu held).
 func (g *Group) actingCoordinator() ids.ProcessID {
-	live := make([]ids.ProcessID, 0, len(g.view.Members))
+	live := g.coordScratch[:0]
 	for _, m := range g.view.Members {
 		if !g.suspects[m] {
 			live = append(live, m)
 		}
 	}
+	g.coordScratch = live
 	return g.leaderOf(live)
 }
 
@@ -317,8 +334,23 @@ func (g *Group) Multicast(ctx context.Context, payload []byte) error {
 }
 
 // waitNormalLocked blocks until the group is in the normal state, the
-// member has left, or ctx is done.
+// member has left, or ctx is done. The normal-state fast path stays free
+// of the slow half's context and watch-channel machinery, so the
+// steady-state Multicast pays a branch, not an escape-forced allocation.
 func (g *Group) waitNormalLocked(ctx context.Context) error {
+	switch g.state {
+	case stateNormal:
+		return nil
+	case stateLeft:
+		return ErrLeft
+	}
+	return g.waitNormalSlowLocked(ctx)
+}
+
+// waitNormalSlowLocked is the blocking half of waitNormalLocked: a view
+// change (or join) is in progress, so park on the group's condition
+// variable until the state settles or ctx ends.
+func (g *Group) waitNormalSlowLocked(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -369,18 +401,21 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 		g.metrics.appSent.Inc()
 	}
 	g.sendSeq++
-	m := &dataMsg{
-		bornAt:        time.Now(), //lint:ok detclock observability: local latency timestamp, never crosses the wire
-		Group:         g.id,
-		ViewSeq:       g.view.Seq,
-		ViewInstaller: g.view.Installer,
-		Sender:        g.me,
-		Seq:           g.sendSeq,
-		Lamport:       g.node.clock.Next(),
-		Null:          null,
-		Payload:       payload,
-		senderIdx:     g.midx.me,
+	if len(g.msgArena) == 0 {
+		g.msgArena = make([]dataMsg, dataMsgChunk)
 	}
+	m := &g.msgArena[0]
+	g.msgArena = g.msgArena[1:]
+	m.bornAt = time.Now() //lint:ok detclock observability: local latency timestamp, never crosses the wire
+	m.Group = g.id
+	m.ViewSeq = g.view.Seq
+	m.ViewInstaller = g.view.Installer
+	m.Sender = g.me
+	m.Seq = g.sendSeq
+	m.Lamport = g.node.clock.Next()
+	m.Null = null
+	m.Payload = payload
+	m.senderIdx = g.midx.me
 	m.VC = g.sendVCLocked(m, g.sendSeq)
 	var isNull uint64
 	if null {
@@ -441,7 +476,6 @@ func (g *Group) flushBatchLocked() {
 		return
 	}
 	msgs := g.batchBuf
-	g.batchBuf = nil
 	if g.cfg.ProcessingCost > 0 {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-envelope processing cost (amortised across the batch); zero in production configs
 	}
@@ -463,6 +497,12 @@ func (g *Group) flushBatchLocked() {
 			g.sendLocked(p, enc) // best-effort; resend machinery recovers
 		}
 	}
+	// The messages live on in the store; the buffer's capacity is reused
+	// for the next batch window once its references are released.
+	for i := range msgs {
+		msgs[i] = nil
+	}
+	g.batchBuf = msgs[:0]
 }
 
 // broadcastLocked transmits an encoded message to every other view member.
@@ -1112,7 +1152,12 @@ func (g *Group) deliverLocked(m *dataMsg) {
 			gplus = global + 1
 		}
 		g.frRecord(flight.EvDeliver, m.senderIdx, m.Seq, m.Lamport, gplus)
-		d := &Delivery{
+		if len(g.delivArena) == 0 {
+			g.delivArena = make([]Delivery, deliveryChunk)
+		}
+		d := &g.delivArena[0]
+		g.delivArena = g.delivArena[1:]
+		*d = Delivery{
 			Sender:  m.Sender,
 			Payload: m.Payload,
 			Stamp:   m.stamp(),

@@ -138,6 +138,100 @@ type commitMsg struct {
 
 // --- encoding helpers ---
 
+// decoder is the receive-side codec state one goroutine (a node's receive
+// loop) reuses across frames: an embedded wire.Reader and intern tables
+// for the identifier strings that repeat on every message. A steady-state
+// data frame names a group, a view installer and a sender the decoder has
+// seen thousands of times before; interning turns each of those from a
+// fresh string allocation into a map probe on the frame's bytes (which Go
+// compiles without allocating). The zero value works — it just interns
+// nothing — so one-shot call sites keep the plain decodeMessage entry
+// point.
+//
+// The tables are bounded: a hostile peer streaming unique identifiers
+// must not grow them forever, so past internCap the decoder falls back to
+// plain per-call conversion.
+type decoder struct {
+	r      wire.Reader
+	procs  map[string]ids.ProcessID
+	groups map[string]ids.GroupID
+	// msgs carves inbound dataMsg envelopes out of chunks of dataMsgChunk,
+	// amortising the per-message header allocation the same way the tcpnet
+	// arena amortises frame payloads. Carved envelopes are never reused —
+	// each one flows into the pending/store machinery with ordinary GC
+	// lifetime, and the chunk is reclaimed when its last message dies — so
+	// the scheme cannot corrupt retained messages.
+	msgs []dataMsg
+}
+
+const internCap = 4096
+
+// dataMsgChunk is how many envelopes one decoder arena chunk carves.
+const dataMsgChunk = 64
+
+// newData carves one zeroed dataMsg. A zero-value decoder (the one-shot
+// decodeMessage path) allocates individually instead: a 64-envelope chunk
+// per call would be far worse than the single allocation it replaces.
+func (d *decoder) newData() *dataMsg {
+	if d.procs == nil {
+		return &dataMsg{senderIdx: -1}
+	}
+	if len(d.msgs) == 0 {
+		d.msgs = make([]dataMsg, dataMsgChunk)
+	}
+	m := &d.msgs[0]
+	d.msgs = d.msgs[1:]
+	m.senderIdx = -1
+	return m
+}
+
+func newDecoder() *decoder {
+	return &decoder{
+		procs:  make(map[string]ids.ProcessID),
+		groups: make(map[string]ids.GroupID),
+	}
+}
+
+// proc reads a length-prefixed process identifier, interned when this
+// decoder carries tables. The string wire format equals the blob format,
+// so the raw bytes are probed first and only a table miss converts.
+func (d *decoder) proc(r *wire.Reader) ids.ProcessID {
+	b := r.BlobRef()
+	if len(b) == 0 {
+		return ""
+	}
+	if d.procs != nil {
+		if p, ok := d.procs[string(b)]; ok {
+			return p
+		}
+		p := ids.ProcessID(b)
+		if len(d.procs) < internCap {
+			d.procs[string(p)] = p
+		}
+		return p
+	}
+	return ids.ProcessID(b)
+}
+
+// group reads a length-prefixed group identifier, interned like proc.
+func (d *decoder) group(r *wire.Reader) ids.GroupID {
+	b := r.BlobRef()
+	if len(b) == 0 {
+		return ""
+	}
+	if d.groups != nil {
+		if g, ok := d.groups[string(b)]; ok {
+			return g
+		}
+		g := ids.GroupID(b)
+		if len(d.groups) < internCap {
+			d.groups[string(g)] = g
+		}
+		return g
+	}
+	return ids.GroupID(b)
+}
+
 func putProcs(w *wire.Writer, ps []ids.ProcessID) {
 	w.Uvarint(uint64(len(ps)))
 	for _, p := range ps {
@@ -145,14 +239,14 @@ func putProcs(w *wire.Writer, ps []ids.ProcessID) {
 	}
 }
 
-func getProcs(r *wire.Reader) []ids.ProcessID {
+func (d *decoder) getProcs(r *wire.Reader) []ids.ProcessID {
 	n := r.Uvarint()
 	if r.Err() != nil || n > uint64(r.Remaining()) {
 		return nil
 	}
 	out := make([]ids.ProcessID, 0, n)
 	for i := uint64(0); i < n; i++ {
-		out = append(out, ids.ProcessID(r.String()))
+		out = append(out, d.proc(r))
 	}
 	return out
 }
@@ -194,15 +288,18 @@ func putAssigns(w *wire.Writer, as []assign) {
 	}
 }
 
-func getAssigns(r *wire.Reader) []assign {
+func (d *decoder) getAssigns(r *wire.Reader) []assign {
 	n := r.Uvarint()
 	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	if n == 0 {
 		return nil
 	}
 	out := make([]assign, 0, n)
 	for i := uint64(0); i < n; i++ {
 		out = append(out, assign{
-			Sender: ids.ProcessID(r.String()),
+			Sender: d.proc(r),
 			Seq:    r.Uvarint(),
 			Global: r.Uvarint(),
 		})
@@ -224,23 +321,25 @@ func putData(w *wire.Writer, m *dataMsg) {
 	putAssigns(w, m.Assigns)
 }
 
-func getData(r *wire.Reader) *dataMsg {
-	m := &dataMsg{
-		Group:         ids.GroupID(r.String()),
-		ViewSeq:       ids.ViewSeq(r.Uvarint()),
-		ViewInstaller: ids.ProcessID(r.String()),
-		Sender:        ids.ProcessID(r.String()),
-		Seq:           r.Uvarint(),
-		Lamport:       r.Uvarint(),
-		senderIdx:     -1,
-	}
+func (d *decoder) getData(r *wire.Reader) *dataMsg {
+	m := d.newData()
+	m.Group = d.group(r)
+	m.ViewSeq = ids.ViewSeq(r.Uvarint())
+	m.ViewInstaller = d.proc(r)
+	m.Sender = d.proc(r)
+	m.Seq = r.Uvarint()
+	m.Lamport = r.Uvarint()
 	m.VC = getCounts(r, m.counts[:0:maxInlineMembers])
 	m.Null = r.Bool()
-	// The payload is retained past the frame (pending, store, delivery to
-	// the application), so it must be the copying Blob.
-	m.Payload = r.Blob()
+	// The payload aliases the inbound frame (BlobRef): both transports
+	// guarantee a frame's bytes are never reused — memnet frames are the
+	// per-encode Detach copies passed by reference, tcpnet carves frames
+	// from arena chunks it surrenders to the GC — so the payload may be
+	// retained (pending, store, delivery to the application) without a
+	// per-message copy.
+	m.Payload = r.BlobRef()
 	m.Acks = getCounts(r, m.counts[maxInlineMembers:maxInlineMembers:2*maxInlineMembers])
-	m.Assigns = getAssigns(r)
+	m.Assigns = d.getAssigns(r)
 	return m
 }
 
@@ -251,14 +350,14 @@ func putDataList(w *wire.Writer, msgs []*dataMsg) {
 	}
 }
 
-func getDataList(r *wire.Reader) []*dataMsg {
+func (d *decoder) getDataList(r *wire.Reader) []*dataMsg {
 	n := r.Uvarint()
 	if r.Err() != nil || n > uint64(r.Remaining()) {
 		return nil
 	}
 	out := make([]*dataMsg, 0, n)
 	for i := uint64(0); i < n; i++ {
-		out = append(out, getData(r))
+		out = append(out, d.getData(r))
 	}
 	return out
 }
@@ -324,53 +423,63 @@ func encodeMessage(msg any) []byte {
 }
 
 // decodeMessage parses one GCS payload, returning one of the message
-// struct pointers.
+// struct pointers. One-shot entry point: interning and reader reuse need
+// a long-lived decoder (the node's receive loop owns one).
 func decodeMessage(payload []byte) (any, error) {
-	r := wire.NewReader(payload)
+	var d decoder
+	return d.decode(payload)
+}
+
+// decode parses one GCS payload with this decoder's reusable reader and
+// intern tables. Not safe for concurrent use; each receive loop owns its
+// decoder.
+func (d *decoder) decode(payload []byte) (any, error) {
+	r := &d.r
+	r.Reset(payload)
 	kind := r.Byte()
 	var msg any
 	switch kind {
 	case kindData:
-		msg = getData(r)
+		msg = d.getData(r)
 	case kindBatch:
 		msg = &batchMsg{
-			Group: ids.GroupID(r.String()),
-			Msgs:  getDataList(r),
+			Group: d.group(r),
+			Msgs:  d.getDataList(r),
 		}
 	case kindJoin:
-		msg = &joinMsg{Group: ids.GroupID(r.String()), Joiner: ids.ProcessID(r.String())}
+		msg = &joinMsg{Group: d.group(r), Joiner: d.proc(r)}
 	case kindLeave:
-		msg = &leaveMsg{Group: ids.GroupID(r.String()), Leaver: ids.ProcessID(r.String())}
+		msg = &leaveMsg{Group: d.group(r), Leaver: d.proc(r)}
 	case kindSuspect:
-		msg = &suspectMsg{Group: ids.GroupID(r.String()), Accused: ids.ProcessID(r.String())}
+		msg = &suspectMsg{Group: d.group(r), Accused: d.proc(r)}
 	case kindPropose:
 		msg = &proposeMsg{
-			Group:    ids.GroupID(r.String()),
+			Group:    d.group(r),
 			NewSeq:   ids.ViewSeq(r.Uvarint()),
-			Proposer: ids.ProcessID(r.String()),
-			Members:  getProcs(r),
+			Proposer: d.proc(r),
+			Members:  d.getProcs(r),
 		}
 	case kindFlushAck:
 		msg = &flushAckMsg{
-			Group:    ids.GroupID(r.String()),
+			Group:    d.group(r),
 			NewSeq:   ids.ViewSeq(r.Uvarint()),
-			Proposer: ids.ProcessID(r.String()),
-			From:     ids.ProcessID(r.String()),
+			Proposer: d.proc(r),
+			From:     d.proc(r),
 			Joining:  r.Bool(),
-			Unstable: getDataList(r),
-			Assigns:  getAssigns(r),
+			Unstable: d.getDataList(r),
+			Assigns:  d.getAssigns(r),
 		}
 	case kindCommit:
 		msg = &commitMsg{
-			Group:    ids.GroupID(r.String()),
+			Group:    d.group(r),
 			NewSeq:   ids.ViewSeq(r.Uvarint()),
-			Proposer: ids.ProcessID(r.String()),
-			Members:  getProcs(r),
+			Proposer: d.proc(r),
+			Members:  d.getProcs(r),
 			Order:    OrderMode(r.Uvarint()),
 			Liveness: Liveness(r.Uvarint()),
-			Leader:   ids.ProcessID(r.String()),
-			Cut:      getDataList(r),
-			Assigns:  getAssigns(r),
+			Leader:   d.proc(r),
+			Cut:      d.getDataList(r),
+			Assigns:  d.getAssigns(r),
 		}
 	default:
 		return nil, fmt.Errorf("gcs: unknown message kind %d", kind)

@@ -26,6 +26,11 @@ type Node struct {
 	fr      *flight.Recorder
 	frProc  uint16
 
+	// dec is the receive loop's codec state: a reusable reader plus
+	// intern tables for the identifier strings every frame repeats.
+	// Owned exclusively by recvLoop.
+	dec *decoder
+
 	mu     sync.Mutex
 	groups map[ids.GroupID]*Group
 	closed bool
@@ -49,6 +54,7 @@ func NewNodeObs(ep transport.Endpoint, o *obs.Obs) *Node {
 		metrics:  newGCSMetrics(o),
 		fr:       o.Flight,
 		frProc:   o.Flight.Proc(string(ep.ID())),
+		dec:      newDecoder(),
 		groups:   make(map[ids.GroupID]*Group),
 		recvDone: make(chan struct{}),
 	}
@@ -235,7 +241,7 @@ func (n *Node) recvLoop() {
 	run := make([]any, 0, recvBurst)
 	for in := range inCh {
 		frames = frames[:0]
-		if f, ok := decodeFrame(in); ok {
+		if f, ok := n.decodeFrame(in); ok {
 			frames = append(frames, f)
 		}
 		open := true
@@ -247,7 +253,7 @@ func (n *Node) recvLoop() {
 					open = false
 					break drain
 				}
-				if f, ok := decodeFrame(more); ok {
+				if f, ok := n.decodeFrame(more); ok {
 					frames = append(frames, f)
 				}
 			default:
@@ -261,8 +267,8 @@ func (n *Node) recvLoop() {
 	}
 }
 
-func decodeFrame(in transport.Inbound) (inFrame, bool) {
-	msg, err := decodeMessage(in.Payload)
+func (n *Node) decodeFrame(in transport.Inbound) (inFrame, bool) {
+	msg, err := n.dec.decode(in.Payload)
 	if err != nil {
 		return inFrame{}, false // corrupt frame: drop, reliability recovers
 	}

@@ -1,0 +1,536 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFlow is the interprocedural hot-path allocation analyzer. It walks
+// every function reachable — over the static call graph — from the entry
+// points declared in the allocation-budget manifest (allocbudget.go) and
+// classifies each potential heap-allocation site with a reason: escaping
+// composite literals and &T{}, append without capacity evidence, map
+// creation and growth, closure captures, interface boxing at call sites
+// (which is how fmt and error wrapping allocate), string↔[]byte
+// conversions, and calls that leave the analyzed set (attributed, never
+// silently ignored — a call into the standard library may allocate
+// arbitrarily, so it counts unless it is on the short known-clean list).
+//
+// A site inside a budgeted entry point's reach is not by itself a
+// diagnostic: hot paths are allowed a checked-in number of sites per
+// entry. Only when the unsuppressed site count exceeds the entry's budget
+// does the analyzer report — one summary at the entry point and one
+// diagnostic per counted site, so the regression is attributable.
+// Deliberate cold-path sites are discounted with
+//
+//	//lint:ok allocflow <reason>
+//
+// which removes the site from every entry's count.
+func AllocFlow() *Analyzer { return allocFlowWith(DefaultAllocBudgets()) }
+
+// allocFlowWith builds the analyzer against an explicit manifest (fixture
+// tests substitute their own entry points).
+func allocFlowWith(budgets []AllocBudget) *Analyzer {
+	return &Analyzer{
+		Name: "allocflow",
+		Doc:  "static per-entry-point allocation budgets over the hot-path call graph",
+		RunModule: func(pkgs []*Package, sup *Suppressor) []Diagnostic {
+			return runAllocFlow(pkgs, sup, budgets)
+		},
+	}
+}
+
+// allocSite is one classified potential heap allocation.
+type allocSite struct {
+	pos    token.Position
+	reason string
+}
+
+func runAllocFlow(pkgs []*Package, sup *Suppressor, budgets []AllocBudget) []Diagnostic {
+	cg := BuildCallGraph(pkgs)
+	inSet := make(map[*types.Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		inSet[p.Types] = true
+	}
+	sites := make(map[*types.Func][]allocSite)
+	siteList := func(fn *types.Func) []allocSite {
+		if s, ok := sites[fn]; ok {
+			return s
+		}
+		node := cg.Node(fn)
+		if node == nil {
+			return nil
+		}
+		s := classifyAllocs(node, cg, inSet)
+		sites[fn] = s
+		return s
+	}
+
+	var diags []Diagnostic
+	for _, b := range budgets {
+		entry := FuncNamed(pkgs, b.Entry)
+		if entry == nil {
+			diags = append(diags, Diagnostic{
+				Rule: "allocflow",
+				Pos:  token.Position{Filename: "allocbudget.go"},
+				Msg:  fmt.Sprintf("entry point %q from the budget manifest was not found in the analyzed packages", b.Entry),
+			})
+			continue
+		}
+		reach := cg.Reachable(entry)
+		var counted []allocSite
+		for _, node := range cg.Nodes() {
+			if !reach[node.Fn] {
+				continue
+			}
+			for _, s := range siteList(node.Fn) {
+				if !sup.Suppressed("allocflow", s.pos) {
+					counted = append(counted, s)
+				}
+			}
+		}
+		if len(counted) <= b.Max {
+			continue
+		}
+		entryPos := token.Position{Filename: "allocbudget.go"}
+		if node := cg.Node(entry); node != nil {
+			entryPos = node.Pkg.Fset.Position(node.Decl.Pos())
+		}
+		diags = append(diags, Diagnostic{
+			Rule: "allocflow",
+			Pos:  entryPos,
+			Msg: fmt.Sprintf("%d allocation sites reachable from %s exceed the budget of %d (raise the manifest only with a reason, or fix the new sites below)",
+				len(counted), b.Entry, b.Max),
+		})
+		for _, s := range counted {
+			diags = append(diags, Diagnostic{
+				Rule: "allocflow",
+				Pos:  s.pos,
+				Msg:  fmt.Sprintf("allocation site reachable from %s: %s", b.Entry, s.reason),
+			})
+		}
+	}
+	return diags
+}
+
+// AllocFlowCounts computes, for each manifest entry point, the number of
+// unsuppressed allocation sites statically reachable from it. The
+// cross-check tests compare these against the runtime AllocGuard
+// measurements: static analysis walks every branch, so its count must
+// never be below what one execution observes.
+func AllocFlowCounts(pkgs []*Package) (map[string]int, error) {
+	sup, _ := newSuppressor(pkgs)
+	cg := BuildCallGraph(pkgs)
+	inSet := make(map[*types.Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		inSet[p.Types] = true
+	}
+	counts := make(map[string]int)
+	for _, b := range DefaultAllocBudgets() {
+		entry := FuncNamed(pkgs, b.Entry)
+		if entry == nil {
+			return nil, fmt.Errorf("lint: allocflow entry %q not found", b.Entry)
+		}
+		reach := cg.Reachable(entry)
+		n := 0
+		for _, node := range cg.Nodes() {
+			if !reach[node.Fn] {
+				continue
+			}
+			for _, s := range classifyAllocs(node, cg, inSet) {
+				if !sup.Suppressed("allocflow", s.pos) {
+					n++
+				}
+			}
+		}
+		counts[b.Entry] = n
+	}
+	return counts, nil
+}
+
+// classifyAllocs walks one function body and returns its classified
+// allocation sites in source order.
+func classifyAllocs(node *CallNode, cg *CallGraph, inSet map[*types.Package]bool) []allocSite {
+	w := &allocWalker{
+		p:        node.Pkg,
+		cg:       cg,
+		inSet:    inSet,
+		decl:     node.Decl,
+		evidence: map[string]bool{},
+		iife:     map[*ast.FuncLit]bool{},
+		consumed: map[ast.Node]bool{},
+	}
+	w.collectEvidence(node.Decl.Body)
+	ast.Inspect(node.Decl.Body, w.visit)
+	return w.sites
+}
+
+type allocWalker struct {
+	p     *Package
+	cg    *CallGraph
+	inSet map[*types.Package]bool
+	decl  *ast.FuncDecl
+	// evidence records expressions (by source text) with capacity
+	// evidence in this function: created via make with an explicit
+	// capacity, or re-sliced to [:0] / three-index form before use.
+	evidence map[string]bool
+	iife     map[*ast.FuncLit]bool
+	consumed map[ast.Node]bool // composite literals already counted behind &
+	sites    []allocSite
+}
+
+func (w *allocWalker) add(pos token.Pos, reason string) {
+	w.sites = append(w.sites, allocSite{pos: w.p.Fset.Position(pos), reason: reason})
+}
+
+// collectEvidence finds capacity evidence and immediately-invoked function
+// literals before classification.
+func (w *allocWalker) collectEvidence(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i := range st.Lhs {
+				lhs := types.ExprString(ast.Unparen(st.Lhs[i]))
+				rhs := ast.Unparen(st.Rhs[i])
+				if call, ok := rhs.(*ast.CallExpr); ok && w.builtinName(call) == "make" && len(call.Args) == 3 {
+					w.evidence[lhs] = true
+				}
+				if sl, ok := rhs.(*ast.SliceExpr); ok && sliceKeepsCap(sl) {
+					w.evidence[lhs] = true
+				}
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(st.Fun).(*ast.FuncLit); ok {
+				w.iife[lit] = true
+			}
+		}
+		return true
+	})
+}
+
+// sliceKeepsCap reports x[:0] and three-index slice expressions: both pin
+// the destination's capacity, which is the idiomatic reuse pattern the
+// append heuristic accepts as evidence.
+func sliceKeepsCap(sl *ast.SliceExpr) bool {
+	if sl.Slice3 {
+		return true
+	}
+	if lit, ok := sl.High.(*ast.BasicLit); ok && lit.Value == "0" {
+		return true
+	}
+	return false
+}
+
+func (w *allocWalker) builtinName(call *ast.CallExpr) string {
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsBuiltin() {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func (w *allocWalker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				w.add(x.Pos(), "&composite literal escapes to the heap")
+				w.consumed[lit] = true
+			}
+		}
+	case *ast.CompositeLit:
+		if w.consumed[x] {
+			return true
+		}
+		tv, ok := w.p.Info.Types[x]
+		if !ok {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			w.add(x.Pos(), "slice literal allocates its backing array")
+		case *types.Map:
+			w.add(x.Pos(), "map literal allocates")
+		}
+		// Bare struct literals usually stay on the stack; when one escapes
+		// it does so through a conversion or call the other classes catch.
+	case *ast.CallExpr:
+		w.call(x)
+		return true
+	case *ast.FuncLit:
+		if w.iife[x] {
+			return true // invoked on the spot: no closure object
+		}
+		if n := w.captureCount(x); n > 0 {
+			w.add(x.Pos(), fmt.Sprintf("function literal captures %d variable(s): the closure allocates", n))
+		}
+	case *ast.GoStmt:
+		w.add(x.Pos(), "go statement spawns a goroutine")
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			if tv, ok := w.p.Info.Types[x]; ok && tv.Value == nil && isStringType(tv.Type) {
+				w.add(x.Pos(), "string concatenation allocates")
+			}
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if tv, ok := w.p.Info.Types[idx.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						w.add(idx.Pos(), "map assignment may grow the table")
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// call classifies one call expression: conversion, builtin, boxing at the
+// call boundary, or a call edge that leaves the analyzed set.
+func (w *allocWalker) call(call *ast.CallExpr) {
+	if tv, ok := w.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type)
+		return
+	}
+	if name := w.builtinName(call); name != "" {
+		w.builtin(call, name)
+		return
+	}
+	w.boxing(call)
+
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		_ = lit // immediately invoked: body classified inline
+		return
+	}
+	callee := w.cg.ResolveCall(w.p, call)
+	if callee == nil {
+		w.add(call.Pos(), fmt.Sprintf("dynamic call %s: target unresolved, attributed as allocating", types.ExprString(call.Fun)))
+		return
+	}
+	if w.cg.Node(callee) != nil {
+		return // body is in the analyzed set; its sites are classified there
+	}
+	if fnPkg := callee.Pkg(); fnPkg != nil && w.inSet[fnPkg] {
+		return // declared in an analyzed package without a body here (rare)
+	}
+	if allocExempt(callee) {
+		return
+	}
+	w.add(call.Pos(), fmt.Sprintf("call leaves the analyzed set: %s may allocate", funcDisplay(callee)))
+}
+
+// conversion flags string↔[]byte/[]rune copies and boxing conversions.
+func (w *allocWalker) conversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	fromTV, ok := w.p.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from := fromTV.Type
+	switch {
+	case fromTV.Value != nil && isStringType(from):
+		// Constant string converted to []byte still allocates, but a
+		// constant-to-constant conversion does not.
+		if isByteSlice(to) || isRuneSlice(to) {
+			w.add(call.Pos(), "string→[]byte/[]rune conversion copies")
+		}
+	case isStringType(from) && (isByteSlice(to) || isRuneSlice(to)):
+		w.add(call.Pos(), "string→[]byte/[]rune conversion copies")
+	case (isByteSlice(from) || isRuneSlice(from)) && isStringType(to):
+		w.add(call.Pos(), "[]byte/[]rune→string conversion copies")
+	case types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) && fromTV.Value == nil:
+		w.add(call.Pos(), "interface conversion boxes the value")
+	}
+}
+
+// builtin flags the allocating builtins.
+func (w *allocWalker) builtin(call *ast.CallExpr, name string) {
+	switch name {
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		dst := ast.Unparen(call.Args[0])
+		if sl, ok := dst.(*ast.SliceExpr); ok && sliceKeepsCap(sl) {
+			return // append(x[:0], ...) reuses x's backing array
+		}
+		if w.evidence[types.ExprString(dst)] {
+			return // destination has capacity evidence in this function
+		}
+		w.add(call.Pos(), "append may grow its backing array (no capacity evidence)")
+	case "make":
+		if len(call.Args) == 0 {
+			return
+		}
+		tv, ok := w.p.Info.Types[call.Args[0]]
+		if !ok || tv.Type == nil {
+			return
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			w.add(call.Pos(), "make([]T) allocates a backing array")
+		case *types.Map:
+			w.add(call.Pos(), "make(map) allocates")
+		case *types.Chan:
+			w.add(call.Pos(), "make(chan) allocates")
+		}
+	case "new":
+		w.add(call.Pos(), "new(T) allocates")
+	}
+}
+
+// boxing flags concrete arguments passed to interface parameters — the
+// mechanism behind fmt and error-wrapping allocations. One site per call.
+func (w *allocWalker) boxing(call *ast.CallExpr) {
+	tv, ok := w.p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at, ok := w.p.Info.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() {
+			continue
+		}
+		if types.IsInterface(at.Type.Underlying()) {
+			continue
+		}
+		if _, isPtr := at.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without a new heap object
+		}
+		w.add(call.Pos(), fmt.Sprintf("interface boxing: concrete argument(s) to %s", types.ExprString(call.Fun)))
+		return
+	}
+}
+
+// captureCount counts variables the literal captures from its enclosing
+// function (a closure with captures allocates its environment).
+func (w *allocWalker) captureCount(lit *ast.FuncLit) int {
+	captured := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing declaration but outside
+		// the literal.
+		if v.Pos() >= w.decl.Pos() && v.Pos() < w.decl.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured[v] = true
+		}
+		return true
+	})
+	return len(captured)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}
+
+// allocExempt lists callees outside the analyzed set that are known not to
+// allocate: lock operations, atomics, bit tricks, monotonic clock reads
+// and the fixed-size binary codecs. Everything else outside the set is
+// attributed.
+func allocExempt(fn *types.Func) bool {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	switch pkg {
+	case "sync/atomic", "math/bits", "math":
+		return true
+	case "sync":
+		switch name {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock", "Add", "Done", "Put", "Signal", "Broadcast":
+			// sync.Pool.Get is deliberately not here: a pool miss runs New.
+			return true
+		}
+	case "time":
+		switch name {
+		case "Now", "Since", "Sub", "Before", "Compare", "Equal", "IsZero", "Unix", "UnixNano", "UnixMilli",
+			"Nanoseconds", "Seconds", "Milliseconds", "Microseconds", "Round", "Truncate":
+			// time.After (the function) allocates a timer; Time.After (the
+			// method) is a pure comparison.
+			return name != "After" || recvTypeOf(fn) != nil
+		case "After":
+			return recvTypeOf(fn) != nil
+		}
+	case "encoding/binary":
+		switch name {
+		case "Read", "Write", "Size":
+			return false
+		}
+		return true
+	case "sort":
+		switch name {
+		case "Search", "SearchInts", "SearchStrings":
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplay renders a callee as pkg.Name or pkg.(T).Name.
+func funcDisplay(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if rt := recvTypeOf(fn); rt != nil {
+		if n := namedOrigin(rt); n != nil {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

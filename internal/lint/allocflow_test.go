@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestAllocFlow runs the golden fixture with the entry point budgeted at
+// zero, so every classified site in Hot's closure must be reported — and
+// none of Cold's.
+func TestAllocFlow(t *testing.T) {
+	runFixture(t, "allocflow", allocFlowWith([]AllocBudget{
+		{Entry: "testdata/allocflow.Hot", Max: 0},
+	}))
+}
+
+// TestAllocFlowBudgetsTight loads the real module and checks the manifest
+// two ways: every entry point resolves (the analyzer would report a
+// missing one, but this keeps the failure close to the manifest), and no
+// budget is slack by more than a small headroom — a ceiling far above the
+// actual count would let a stream of regressions in before CI notices.
+func TestAllocFlowBudgetsTight(t *testing.T) {
+	ld := fixtureLoader(t)
+	paths, err := ld.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	counts, err := AllocFlowCounts(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const headroom = 15
+	for _, b := range DefaultAllocBudgets() {
+		got, ok := counts[b.Entry]
+		if !ok {
+			t.Errorf("manifest entry %s produced no count", b.Entry)
+			continue
+		}
+		t.Logf("%-55s sites=%3d budget=%3d", b.Entry, got, b.Max)
+		if got > b.Max {
+			t.Errorf("%s: %d sites exceed budget %d", b.Entry, got, b.Max)
+		}
+		if b.Max-got > headroom {
+			t.Errorf("%s: budget %d is slack (actual %d, headroom limit %d) — tighten the manifest", b.Entry, b.Max, got, headroom)
+		}
+	}
+}

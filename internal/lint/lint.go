@@ -50,15 +50,20 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one protocol-invariant check.
+// Analyzer is one protocol-invariant check. Per-package analyzers set Run;
+// module-level analyzers (allocflow, which walks an interprocedural call
+// graph) set RunModule and receive every loaded package at once plus the
+// suppression table, so suppressed sites can be discounted before any
+// budget arithmetic instead of filtered afterwards.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Applies gates which module packages the analyzer runs on when
 	// driving from cmd/newtop-lint; Check itself runs every analyzer it is
 	// given (fixture tests rely on that).
-	Applies func(importPath string) bool
-	Run     func(p *Package) []Diagnostic
+	Applies   func(importPath string) bool
+	Run       func(p *Package) []Diagnostic
+	RunModule func(pkgs []*Package, sup *Suppressor) []Diagnostic
 }
 
 // internalOnly scopes an analyzer to the module's internal packages (the
@@ -86,6 +91,7 @@ func Analyzers() []*Analyzer {
 		DetClock(),
 		GoOrphan(),
 		ErrDrop(),
+		AllocFlow(),
 	}
 }
 
@@ -181,37 +187,125 @@ func collectDirectives(p *Package) ([]directive, []Diagnostic) {
 	return ds, diags
 }
 
-// suppressed reports whether a directive covers the diagnostic: same rule,
-// same file, and either inline on the diagnostic's line or alone on the
-// line immediately above it.
-func suppressed(d Diagnostic, ds []directive) bool {
-	for _, dir := range ds {
-		if dir.rule != d.Rule || dir.file != d.Pos.Filename {
-			continue
-		}
-		if dir.line == d.Pos.Line || (dir.own && dir.line == d.Pos.Line-1) {
-			return true
+// Suppressor holds every //lint:ok directive collected from the checked
+// packages and records which of them actually suppressed something, so a
+// stale directive — one whose rule ran but matched no finding — can be
+// reported instead of rotting silently.
+type Suppressor struct {
+	ds []*trackedDirective
+}
+
+type trackedDirective struct {
+	directive
+	pkgPath string
+	used    bool
+}
+
+func newSuppressor(pkgs []*Package) (*Suppressor, []Diagnostic) {
+	sup := &Suppressor{}
+	var bad []Diagnostic
+	for _, p := range pkgs {
+		ds, diags := collectDirectives(p)
+		bad = append(bad, diags...)
+		for _, d := range ds {
+			sup.ds = append(sup.ds, &trackedDirective{directive: d, pkgPath: p.Path})
 		}
 	}
-	return false
+	return sup, bad
+}
+
+// Suppressed reports whether a directive covers (rule, pos): same rule,
+// same file, and either inline on the position's line or alone on the line
+// immediately above it. A match marks the directive used.
+func (s *Suppressor) Suppressed(rule string, pos token.Position) bool {
+	hit := false
+	for _, dir := range s.ds {
+		if dir.rule != rule || dir.file != pos.Filename {
+			continue
+		}
+		if dir.line == pos.Line || (dir.own && dir.line == pos.Line-1) {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale returns one diagnostic per unused directive whose rule actually
+// ran on the directive's package in this invocation (ran maps package path
+// to the rule names executed there). A directive for a rule that was not
+// selected, or that is gated off the package, is not stale — it may be
+// doing its job on a fuller run.
+func (s *Suppressor) stale(ran map[string]map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.ds {
+		if dir.used || !ran[dir.pkgPath][dir.rule] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Rule: "directive",
+			Pos:  token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+			Msg:  fmt.Sprintf("stale //lint:ok %s directive: it suppresses nothing", dir.rule),
+		})
+	}
+	return out
 }
 
 // Check runs every analyzer over every package, applies //lint:ok
 // suppression, and returns the surviving diagnostics in position order.
-// Scoping via Analyzer.Applies is the caller's concern (cmd/newtop-lint
-// applies it; fixture tests bypass it).
+// Scoping via Analyzer.Applies and stale-directive detection are
+// CheckModule's concern (cmd/newtop-lint goes through it; fixture tests
+// call Check and bypass both).
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	return check(pkgs, analyzers, false, false)
+}
+
+// CheckModule is the cmd/newtop-lint entry point: Applies gating is
+// honoured, module-level analyzers run once over the whole package set,
+// and //lint:ok directives that suppressed nothing are reported.
+func CheckModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return check(pkgs, analyzers, true, true)
+}
+
+func check(pkgs []*Package, analyzers []*Analyzer, gate, staleCheck bool) []Diagnostic {
+	sup, out := newSuppressor(pkgs)
+	ran := make(map[string]map[string]bool, len(pkgs))
+	mark := func(p *Package, rule string) {
+		if ran[p.Path] == nil {
+			ran[p.Path] = make(map[string]bool)
+		}
+		ran[p.Path][rule] = true
+	}
 	for _, p := range pkgs {
-		ds, bad := collectDirectives(p)
-		out = append(out, bad...)
 		for _, a := range analyzers {
+			if a.Run == nil || (gate && a.Applies != nil && !a.Applies(p.Path)) {
+				continue
+			}
+			mark(p, a.Name)
 			for _, d := range a.Run(p) {
-				if !suppressed(d, ds) {
+				if !sup.Suppressed(d.Rule, d.Pos) {
 					out = append(out, d)
 				}
 			}
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		// A module analyzer sees every package, so its directives are
+		// checkable everywhere.
+		for _, p := range pkgs {
+			mark(p, a.Name)
+		}
+		for _, d := range a.RunModule(pkgs, sup) {
+			if !sup.Suppressed(d.Rule, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	if staleCheck {
+		out = append(out, sup.stale(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

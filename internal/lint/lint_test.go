@@ -128,8 +128,8 @@ func TestDirectiveMalformed(t *testing.T) {
 // TestAnalyzersNamed checks rule-subset selection and its error path.
 func TestAnalyzersNamed(t *testing.T) {
 	all, err := AnalyzersNamed("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("AnalyzersNamed(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("AnalyzersNamed(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
 	}
 	two, err := AnalyzersNamed("wiresym,errdrop")
 	if err != nil || len(two) != 2 {

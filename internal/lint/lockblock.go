@@ -44,66 +44,61 @@ type blockOp struct {
 	lock string // the locally held lock's expression, if held
 }
 
-// callSite is one same-package static call.
-type callSite struct {
-	callee *types.Func
-	held   bool
-}
-
-// fnFacts is the per-function summary of pass 1.
+// fnFacts is the per-function summary of pass 1. Call sites and their
+// resolution live in the shared call graph; the walker contributes only
+// what the graph cannot know — the lock state at each site.
 type fnFacts struct {
 	decl   *ast.FuncDecl
 	obj    *types.Func
 	byName bool // name ends in "Locked": entered with the mutex held
 	blocks []blockOp
-	calls  []callSite
+	heldAt map[*ast.CallExpr]bool // lock state at each visited call site
 }
 
 func runLockBlock(p *Package) []Diagnostic {
-	facts := make(map[*types.Func]*fnFacts)
-	var order []*fnFacts
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			ff := &fnFacts{
-				decl:   fd,
-				obj:    obj,
-				byName: strings.HasSuffix(fd.Name.Name, "Locked"),
-			}
-			w := &lockWalker{p: p, ff: ff, held: map[string]bool{}}
-			w.block(fd.Body)
-			facts[obj] = ff
-			order = append(order, ff)
+	cg := BuildCallGraph([]*Package{p})
+	facts := make(map[*types.Func]*fnFacts, len(cg.Nodes()))
+	for _, node := range cg.Nodes() {
+		ff := &fnFacts{
+			decl:   node.Decl,
+			obj:    node.Fn,
+			byName: strings.HasSuffix(node.Decl.Name.Name, "Locked"),
+			heldAt: map[*ast.CallExpr]bool{},
 		}
+		w := &lockWalker{p: p, ff: ff, held: map[string]bool{}}
+		w.block(node.Decl.Body)
+		facts[node.Fn] = ff
 	}
 
-	// Propagate "may run with a mutex held" through static same-package
-	// calls: seeded by *Locked naming and by call sites inside locked
-	// regions, then closed transitively (a function that may run locked
-	// passes the property to everything it calls).
+	// Propagate "may run with a mutex held" through the call graph's
+	// static same-package edges: seeded by *Locked naming and by call
+	// sites inside locked regions, then closed transitively (a function
+	// that may run locked passes the property to everything it calls).
+	// Go statements, deferred calls and function literals that escape the
+	// call do not inherit the caller's locks, so those edges are skipped.
 	underLock := make(map[*types.Func]bool)
 	via := make(map[*types.Func]string)
-	for _, ff := range order {
-		if ff.byName {
-			underLock[ff.obj] = true
-			via[ff.obj] = "its *Locked name"
+	for _, node := range cg.Nodes() {
+		if facts[node.Fn].byName {
+			underLock[node.Fn] = true
+			via[node.Fn] = "its *Locked name"
 		}
 	}
 	for changed := true; changed; {
 		changed = false
-		for _, ff := range order {
-			callerLocked := underLock[ff.obj]
-			for _, cs := range ff.calls {
-				if (cs.held || callerLocked) && !underLock[cs.callee] {
-					underLock[cs.callee] = true
-					via[cs.callee] = ff.obj.Name()
+		for _, node := range cg.Nodes() {
+			ff := facts[node.Fn]
+			callerLocked := underLock[node.Fn]
+			for _, e := range node.Out {
+				if e.Go || e.Defer || e.InLit || e.Callee == nil || e.Callee.Pkg() != p.Types {
+					continue
+				}
+				if _, known := facts[e.Callee]; !known {
+					continue
+				}
+				if (ff.heldAt[e.Call] || callerLocked) && !underLock[e.Callee] {
+					underLock[e.Callee] = true
+					via[e.Callee] = node.Fn.Name()
 					changed = true
 				}
 			}
@@ -111,7 +106,8 @@ func runLockBlock(p *Package) []Diagnostic {
 	}
 
 	var diags []Diagnostic
-	for _, ff := range order {
+	for _, node := range cg.Nodes() {
+		ff := facts[node.Fn]
 		for _, b := range ff.blocks {
 			switch {
 			case b.held:
@@ -353,6 +349,12 @@ func (w *lockWalker) call(call *ast.CallExpr) {
 		w.expr(sel.X)
 	}
 
+	// Record the lock state at this site for the call-graph propagation
+	// pass — including sites calleeOf cannot resolve (function values); the
+	// graph may resolve them through its same-package value bindings.
+	held, _ := w.heldNow()
+	w.ff.heldAt[call] = held
+
 	fn := calleeOf(w.p.Info, call)
 	if fn == nil {
 		return
@@ -362,12 +364,6 @@ func (w *lockWalker) call(call *ast.CallExpr) {
 	}
 	if what := blockingCallee(fn); what != "" {
 		w.add(call.Pos(), what)
-		return
-	}
-	// Same-package static call: record for under-lock propagation.
-	if fn.Pkg() == w.p.Types {
-		held, _ := w.heldNow()
-		w.ff.calls = append(w.ff.calls, callSite{callee: fn, held: held})
 	}
 }
 

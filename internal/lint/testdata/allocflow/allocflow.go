@@ -1,0 +1,76 @@
+// Package allocflow is the golden fixture for the allocflow analyzer. The
+// test budgets the entry point Hot at zero sites, so every classified
+// allocation site in Hot's static call closure must be reported — and
+// nothing in Cold, which is unreachable from Hot, may be.
+package allocflow
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+type payload struct {
+	b []byte
+}
+
+type sink interface {
+	accept(v any)
+}
+
+var (
+	global  *payload
+	counter int64
+	dest    sink
+)
+
+func Hot(n int) { // want allocflow "exceed the budget"
+	esc := &payload{} // want allocflow "&composite literal escapes"
+	global = esc
+
+	s := []int{1, 2, 3}        // want allocflow "slice literal allocates"
+	m := map[string]int{}      // want allocflow "map literal allocates"
+	m["grown"] = n             // want allocflow "map assignment may grow"
+	mp := make(map[int]int)    // want allocflow "make(map) allocates"
+	ch := make(chan int, 1)    // want allocflow "make(chan) allocates"
+	buf := make([]byte, 0, 16) // want allocflow "make([]T) allocates"
+
+	// Capacity evidence: buf was made with an explicit capacity, so this
+	// append is not a site.
+	buf = append(buf, byte(n))
+	s = append(s, 4) // want allocflow "append may grow"
+
+	str := string(buf) // want allocflow "conversion copies"
+	bs := []byte(str)  // want allocflow "conversion copies"
+	cat := str + "!"   // want allocflow "string concatenation"
+
+	f := func() { esc.b = bs } // want allocflow "closure allocates"
+	f()                        // want allocflow "dynamic call"
+
+	box(n)           // want allocflow "interface boxing"
+	dest.accept(cat) // want allocflow "interface boxing" allocflow "dynamic call"
+
+	go helper() // want allocflow "go statement"
+
+	_ = strconv.Itoa(n) // want allocflow "leaves the analyzed set"
+	atomic.AddInt64(&counter, 1)
+
+	//lint:ok allocflow deliberate: fixture exercises suppression
+	global = &payload{}
+
+	_, _ = mp, ch
+}
+
+// helper is reachable from Hot via the go statement; its sites count.
+func helper() {
+	global = new(payload) // want allocflow "new(T) allocates"
+}
+
+func box(v any) {
+	_ = v
+}
+
+// Cold is not reachable from Hot: none of its sites may be reported.
+func Cold() {
+	global = &payload{}
+	_ = make([]int, 8)
+}

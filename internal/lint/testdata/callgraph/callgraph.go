@@ -1,0 +1,56 @@
+// Package callgraph is the golden fixture for the interprocedural call
+// graph builder. The test runs a debug analyzer that reports, at every
+// recorded call edge, how the builder resolved it — a static callee name,
+// or "dynamic" — plus the edge's go/defer/literal flags.
+package callgraph
+
+var cond bool
+
+func a() {
+	b() // want callgraph "resolves to b"
+}
+
+func b() {}
+
+type T struct{}
+
+func (t *T) m() {
+	t.n() // want callgraph "resolves to n"
+}
+
+func (t *T) n() {}
+
+func values(t *T) {
+	// A variable bound to exactly one function resolves statically.
+	f := b
+	f() // want callgraph "resolves to b"
+
+	// Two conflicting bindings make the value ambiguous: dynamic.
+	g := a
+	if cond {
+		g = b
+	}
+	g() // want callgraph "dynamic"
+
+	go b()    // want callgraph "resolves to b (go)"
+	defer a() // want callgraph "resolves to a (defer)"
+
+	// An immediately invoked literal is not an edge; the call inside it
+	// belongs to the enclosing function at literal depth zero.
+	func() {
+		b() // want callgraph "resolves to b"
+	}()
+
+	// A literal that escapes the call site keeps its calls, marked as
+	// sitting inside a literal.
+	h := func() {
+		a() // want callgraph "resolves to a (in literal)"
+	}
+	h() // want callgraph "dynamic"
+
+	t.m() // want callgraph "resolves to m"
+
+	// Method values are deliberately not resolved.
+	mv := t.n
+	mv() // want callgraph "dynamic"
+}

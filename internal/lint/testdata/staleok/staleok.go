@@ -1,0 +1,10 @@
+// Package staleok is the fixture for stale-suppression detection: the
+// first //lint:ok directive covers a real finding of the test's mock rule,
+// the second suppresses nothing and must itself be reported.
+package staleok
+
+//lint:ok mock covered: the mock rule reports this declaration
+func Covered() {}
+
+//lint:ok mock stale: the mock rule reports nothing here
+func Stale() {}

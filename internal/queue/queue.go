@@ -9,10 +9,17 @@ import "sync"
 // FIFO is an unbounded buffer with a channel-based consumer side. The zero
 // value is not usable; create with New. Closing discards pending items,
 // mirroring a socket close.
+//
+// The buffer is a sliding window over one backing array: head indexes the
+// front element and pops advance it in place, so steady-state traffic
+// recycles the same capacity instead of abandoning a prefix of the array
+// on every pop (re-slicing buf[1:] forfeits the popped slot forever and
+// forces append to grow a fresh array once the suffix runs out).
 type FIFO[T any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	buf     []T
+	head    int // index of the front element; len(buf)-head items queued
 	depth   func(int)
 	closed  bool
 	closeCh chan struct{}
@@ -40,9 +47,21 @@ func (f *FIFO[T]) Push(v T) {
 	if f.closed {
 		return
 	}
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		// Out of tail room: slide the live window back to the base of the
+		// backing array before appending, reusing the popped slots instead
+		// of growing.
+		n := copy(f.buf, f.buf[f.head:])
+		var zero T
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = zero
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
 	f.buf = append(f.buf, v)
 	if f.depth != nil {
-		f.depth(len(f.buf))
+		f.depth(len(f.buf) - f.head)
 	}
 	f.cond.Signal()
 }
@@ -64,7 +83,7 @@ func (f *FIFO[T]) Out() <-chan T { return f.out }
 func (f *FIFO[T]) Len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return len(f.buf)
+	return len(f.buf) - f.head
 }
 
 // Close stops the pump and closes the output channel. It is idempotent and
@@ -85,15 +104,22 @@ func (f *FIFO[T]) pump() {
 	defer close(f.out)
 	for {
 		f.mu.Lock()
-		for len(f.buf) == 0 && !f.closed {
+		for len(f.buf) == f.head && !f.closed {
 			f.cond.Wait()
 		}
 		if f.closed {
 			f.mu.Unlock()
 			return
 		}
-		v := f.buf[0]
-		f.buf = f.buf[1:]
+		v := f.buf[f.head]
+		var zero T
+		f.buf[f.head] = zero // release the reference for GC
+		f.head++
+		if f.head == len(f.buf) {
+			// Drained: rewind so the next burst refills from the base.
+			f.buf = f.buf[:0]
+			f.head = 0
+		}
 		f.mu.Unlock()
 
 		// Deliver outside the lock so a slow consumer only delays

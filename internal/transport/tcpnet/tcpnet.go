@@ -454,8 +454,15 @@ func (p *pipe) run() {
 
 	backoff := p.e.cfg.RedialMin
 	batch := make([][]byte, 0, p.e.cfg.FlushBatch)
-	var bufs net.Buffers
-	var hdrs []byte
+	bufs := make(net.Buffers, 0, 2*p.e.cfg.FlushBatch)
+	hdrs := make([]byte, 0, 4*p.e.cfg.FlushBatch)
+	// wb is the throwaway slice header handed to WriteTo, which consumes
+	// its receiver in place: handing it bufs itself would leave the base
+	// pointer advanced past the written entries, shrinking the reusable
+	// capacity to nothing within a few flushes. Declared outside the loop
+	// because the WriteTo call makes it escape — inside the loop that is
+	// one heap allocation per flush.
+	var wb net.Buffers
 
 	var delay *time.Timer
 	for {
@@ -505,12 +512,10 @@ func (p *pipe) run() {
 			}
 
 			_ = conn.SetWriteDeadline(time.Now().Add(p.e.cfg.WriteTimeout))
-			_, err := bufs.WriteTo(conn)
-			// WriteTo consumes bufs; re-grow to clear the stale frame
-			// references the backing array still holds.
-			bufs = bufs[:cap(bufs)]
+			wb = bufs
+			_, err := wb.WriteTo(conn)
 			for i := range bufs {
-				bufs[i] = nil
+				bufs[i] = nil // clear the stale frame references
 			}
 			for i := range batch {
 				batch[i] = nil

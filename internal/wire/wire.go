@@ -125,6 +125,15 @@ type Reader struct {
 // NewReader returns a reader over buf. The reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset re-aims the reader at buf and clears its error, so a long-lived
+// decoder can reuse one Reader across frames instead of allocating one
+// per decode.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.err = nil
+}
+
 // Err returns the first decoding error encountered, or nil.
 func (r *Reader) Err() error { return r.err }
 
