@@ -46,12 +46,13 @@ go test ./...
 
 # Allocation budgets for the protocol hot paths: the multicast→deliver
 # cycle, wire encode/decode, the pooled writer, the TCP transport's
-# enqueue/flush and pooled-read paths, and the flight recorder (which
-# must journal an event with zero allocations). A regression back to
-# per-message maps, per-attempt sorting, per-encode buffers or per-frame
-# read buffers fails here long before it would show up in a benchmark.
+# enqueue/flush and pooled-read paths, the flight recorder (which must
+# journal an event with zero allocations), and the leased local read. A
+# regression back to per-message maps, per-attempt sorting, per-encode
+# buffers or per-frame read buffers fails here long before it would show
+# up in a benchmark.
 echo "== alloc budgets =="
-go test -run AllocGuard ./internal/gcs/ ./internal/wire/ ./internal/transport/tcpnet/ ./internal/obs/flight/
+go test -run AllocGuard ./internal/gcs/ ./internal/core/ ./internal/wire/ ./internal/transport/tcpnet/ ./internal/obs/flight/
 
 if [ "${CI_SHORT:-0}" = "1" ]; then
 	echo "ci: CI_SHORT=1, skipping the race pass"
@@ -78,5 +79,12 @@ go run ./cmd/newtop-bench -experiment tcpnet -quick
 # complete) unexplained gap fails the stage.
 echo "== journal invariants =="
 go run ./cmd/newtop-bench -experiment hotpath -quick -journal-check
+
+# Smoke the lease-based read path: the 95/5 read-heavy mix must clear the
+# 5x read-throughput floor over the all-ordered loop, and the journal
+# must show no leased read served past its staleness bound (both are
+# enforced inside the experiment).
+echo "== read path smoke =="
+go run ./cmd/newtop-bench -experiment readpath -quick
 
 echo "ci: all checks passed"

@@ -9,7 +9,8 @@
 //
 // Experiment identifiers (see DESIGN.md §4): table1, graphs1-2, graphs3-4,
 // graphs5-6, graphs7-8, graphs9-10, graphs11-12, graphs13-14, graphs15-16,
-// graph17, graph18, peer-lan, closed-symmetric, pipeline, hotpath.
+// graph17, graph18, peer-lan, closed-symmetric, pipeline, hotpath, tcpnet,
+// readpath.
 //
 // The pipeline and hotpath experiments go beyond the paper: pipeline
 // compares the serial blocking client loop (the paper's workload) against
@@ -55,6 +56,7 @@ func run(args []string) error {
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf    = fs.String("memprofile", "", "write an allocation profile of the selected experiments to this file (sets MemProfileRate=1: every allocation is recorded)")
 		jcheck     = fs.Bool("journal-check", false, "run the flight-recorder stall detector and delivery-order verifier over each journal-instrumented run; fail on findings")
+		readPct    = fs.Int("readpct", 0, "read share (percent) of the readpath experiment's mixed workload (default 95)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +109,7 @@ func run(args []string) error {
 		scale.Requests = *requests
 	}
 	scale.JournalCheck = *jcheck
+	scale.ReadPct = *readPct
 
 	var selected []bench.Experiment
 	if *experiment == "all" {

@@ -68,6 +68,8 @@ func run(args []string) error {
 		style   = fs.String("style", "open", "binding style: open|closed (invoke)")
 		order   = fs.String("order", "sequencer", "ordering: sequencer|symmetric|causal")
 		batch   = fs.Bool("batch", false, "coalesce same-tick multicasts into batch envelopes (sender-local)")
+		cons    = fs.String("consistency", "leased", "read consistency: leased|linearizable|stale (read)")
+		leases  = fs.Int("lease-ticks", 0, "read-lease bound in group ticks; 0 disables the read path (serve must set it for read to work)")
 		timeout = fs.Duration("timeout", 30*time.Second, "operation deadline")
 		metrics = fs.String("metrics", "", "address to serve /metrics, /traces and /journal on (serve)")
 		statsEv = fs.Duration("stats", 10*time.Second, "interval between stats lines (serve; 0 disables)")
@@ -112,7 +114,7 @@ func run(args []string) error {
 		ep.AddPeer(ids.ProcessID(name), addr)
 	}
 
-	gcfg := gcs.GroupConfig{Order: parseOrder(*order), Batch: *batch}
+	gcfg := gcs.GroupConfig{Order: parseOrder(*order), Batch: *batch, LeaseTicks: *leases}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -121,6 +123,8 @@ func run(args []string) error {
 		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *metrics, *statsEv, *pprofOn)
 	case "invoke":
 		return invokeCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *style, *method, *cargs, *mode)
+	case "read":
+		return readCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *method, *cargs, *cons)
 	case "peer":
 		return peerCmd(ep, *group, ids.ProcessID(*contact), gcfg)
 	default:
@@ -246,7 +250,7 @@ func invokeCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact i
 	fmt.Printf("bound (%s) via %s; servers %v\n", bc.Style, b.RequestManager(), b.Servers())
 
 	t0 := time.Now()
-	replies, err := b.Invoke(ctx, method, []byte(args), parseMode(mode))
+	replies, err := b.Call(ctx, method, []byte(args), core.WithMode(parseMode(mode)))
 	if err != nil {
 		return err
 	}
@@ -259,6 +263,44 @@ func invokeCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact i
 		}
 	}
 	return nil
+}
+
+// readCmd binds and performs one read through the lease-based read path
+// (DESIGN.md §14). The server group must be serving with -lease-ticks set
+// or the read is refused with ErrReadDisabled.
+func readCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, method, args, cons string) error {
+	svc := core.NewService(ep)
+	defer svc.Close()
+	b, err := svc.Bind(ctx, core.BindConfig{
+		ServerGroup: ids.GroupID(group),
+		Contact:     contact,
+		Style:       core.Open,
+		GCS:         gcfg,
+	})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	fmt.Printf("bound (open) via %s; servers %v\n", b.RequestManager(), b.Servers())
+
+	t0 := time.Now()
+	payload, err := b.Read(ctx, method, []byte(args), core.WithConsistency(parseConsistency(cons)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s read in %s: %q (session %v)\n", cons, time.Since(t0).Round(time.Microsecond), payload, b.SessionStamp())
+	return nil
+}
+
+func parseConsistency(s string) core.Consistency {
+	switch s {
+	case "linearizable":
+		return core.Linearizable
+	case "stale":
+		return core.Stale
+	default:
+		return core.Leased
+	}
 }
 
 // peerCmd joins (or creates) a lively peer group and relays stdin lines.

@@ -107,6 +107,9 @@ type EnvConfig struct {
 	// Batch enables sender-side multicast batching on the server group
 	// (the pipeline experiment's amortisation lever).
 	Batch bool
+	// LeaseTicks enables read leases on the server group (the readpath
+	// experiment's lever); zero leaves the read path disabled.
+	LeaseTicks int
 	// Handler is the replicated service; nil installs the paper's
 	// pseudo-random-number object.
 	Handler core.Handler
@@ -145,6 +148,7 @@ func NewEnv(ctx context.Context, cfg EnvConfig) (*Env, error) {
 	timers := evalTimers()
 	timers.Order = cfg.Order
 	timers.Batch = cfg.Batch
+	timers.LeaseTicks = cfg.LeaseTicks
 
 	var contact ids.ProcessID
 	for i := 0; i < cfg.NServers; i++ {

@@ -24,6 +24,9 @@ type Scale struct {
 	// tcpnet) run the flight recorder's stall detector and delivery-order
 	// verifier over each measured point and fail on any finding.
 	JournalCheck bool
+	// ReadPct is the read share (percent) of the readpath experiment's
+	// mixed workload; zero selects the default 95/5 read/write mix.
+	ReadPct int
 }
 
 // FullScale reproduces the paper's sweep sizes.
@@ -123,6 +126,7 @@ func Experiments() []Experiment {
 		{ID: "closed-symmetric", Title: "§5.1.3 text: closed vs open under symmetric ordering", Run: runClosedSymmetric},
 		{ID: "hotpath", Title: "Hot path: indexed delivery queues + pooled codec, LAN peer group", Run: runHotpath},
 		{ID: "tcpnet", Title: "TCP transport: writer pipelines + frame coalescing, loopback peer group", Run: runTCPNet},
+		{ID: "readpath", Title: "Read path: leased local reads vs the all-ordered loop on a read-heavy mix", Run: runReadPath},
 	}
 }
 

@@ -159,7 +159,7 @@ func runRRPoint(ctx context.Context, cfg RRConfig, nClients int) (RRPoint, error
 			defer b.Close()
 			mode := cfg.Mode
 			invokers[i] = func(ctx context.Context) error {
-				_, err := b.Invoke(ctx, "rand", nil, mode)
+				_, err := b.Call(ctx, "rand", nil, core.WithMode(mode))
 				return err
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"newtop/internal/ids"
 	"newtop/internal/obs"
 	"newtop/internal/obs/flight"
+	"newtop/internal/vclock"
 )
 
 // BindConfig configures a client's binding to a server group.
@@ -44,10 +45,23 @@ type BindConfig struct {
 	// slot for their whole duration too, since they are an InvokeAsync
 	// awaited immediately. Default 16.
 	Window int
+	// ReadConsistency is the default consistency of Read calls that carry
+	// no WithConsistency option (default Leased). Writes are unaffected.
+	ReadConsistency Consistency
+	// ReadRenew is how long a binding's leased/stale reads favour one
+	// replica before rotating to the next — long enough that a replica's
+	// caches stay warm, short enough that read load spreads across the
+	// group and a replica with an expiring lease is abandoned promptly.
+	// Default 1s.
+	ReadRenew time.Duration
 }
 
 // defaultWindow is the pipelining depth when BindConfig.Window is unset.
 const defaultWindow = 16
+
+// defaultReadRenew is the replica-rotation period when BindConfig.ReadRenew
+// is unset.
+const defaultReadRenew = time.Second
 
 // windowOf resolves the configured pipelining depth.
 func windowOf(cfg BindConfig) int {
@@ -69,12 +83,28 @@ type Binding struct {
 	// kept for rebinding after a request manager failure.
 	sgMembers []ids.ProcessID
 
-	mu       sync.Mutex
-	servers  []ids.ProcessID // servers bound into the group (closed style)
+	mu      sync.Mutex
+	servers []ids.ProcessID // servers bound into the group (closed style)
+	// view is the client/server group view as this binding last observed
+	// it, cached under mu so that Servers and Broken answer from the same
+	// instant: onView installs the new view and the broken judgement in
+	// one critical section, where reading the group's live view here
+	// would race the membership callback during a rebind.
+	view     gcs.View
 	broken   bool
 	brokenCh chan struct{}
 	viewCh   chan struct{}
 	closed   bool
+
+	// sessStamp is the session token: the newest applied stamp observed
+	// in any reply (writes and reads both advance it). Reads default
+	// their session floor to it — that is read-your-writes across
+	// replicas.
+	sessStamp vclock.Stamp
+	// readIdx/readPickAt rotate leased and stale reads across replicas:
+	// the favourite advances every cfg.ReadRenew.
+	readIdx    int
+	readPickAt time.Time
 
 	// window is the outstanding-call semaphore: one slot per in-flight
 	// invocation, capacity BindConfig.Window. Acquired in InvokeAsync,
@@ -94,6 +124,9 @@ func (s *Service) Bind(ctx context.Context, cfg BindConfig) (*Binding, error) {
 	}
 	if cfg.BindTimeout <= 0 {
 		cfg.BindTimeout = 10 * time.Second
+	}
+	if cfg.ReadRenew <= 0 {
+		cfg.ReadRenew = defaultReadRenew
 	}
 	cfg.GCS = requestReplyDefaults(cfg.GCS)
 	ctx, cancel := context.WithTimeout(ctx, cfg.BindTimeout)
@@ -152,6 +185,7 @@ func (s *Service) Bind(ctx context.Context, cfg BindConfig) (*Binding, error) {
 		_ = group.Leave()
 		return nil, err
 	}
+	b.view = group.View() // seed the cache; onView keeps it current
 	go b.clientLoop()
 	return b, nil
 }
@@ -168,6 +202,9 @@ func (s *Service) Bind(ctx context.Context, cfg BindConfig) (*Binding, error) {
 // The client\'s cfg.GCS must match the configuration the server group was
 // created with (ordering protocol and liveness), as for any group join.
 func (s *Service) bindClosed(ctx context.Context, cfg BindConfig, members []ids.ProcessID) (*Binding, error) {
+	if cfg.ReadRenew <= 0 {
+		cfg.ReadRenew = defaultReadRenew
+	}
 	group, err := s.node.Join(ctx, cfg.ServerGroup, cfg.Contact, cfg.GCS)
 	if err != nil {
 		return nil, fmt.Errorf("core: closed bind %q: %w", cfg.ServerGroup, err)
@@ -184,6 +221,7 @@ func (s *Service) bindClosed(ctx context.Context, cfg BindConfig, members []ids.
 		window:    make(chan struct{}, windowOf(cfg)),
 		loopDone:  make(chan struct{}),
 	}
+	b.view = group.View()
 	go b.clientLoop()
 	return b, nil
 }
@@ -268,7 +306,9 @@ func (b *Binding) KnownServers() []ids.ProcessID {
 // closed clients, which must not count towards reply quorums.
 func (b *Binding) Servers() []ids.ProcessID {
 	me := b.svc.ID()
-	v := b.group.View()
+	b.mu.Lock()
+	v := b.view
+	b.mu.Unlock()
 	var out []ids.ProcessID
 	if b.cfg.Style == Closed {
 		for _, m := range b.sgMembers {
@@ -351,10 +391,14 @@ func (b *Binding) clientLoop() {
 	b.mu.Unlock()
 }
 
-// onView reacts to a membership change of the client/server group.
+// onView reacts to a membership change of the client/server group. The
+// cached view and the broken judgement change in the same critical
+// section, so Servers and Broken can never contradict each other
+// mid-transition (the rebind race the view cache exists to close).
 func (b *Binding) onView(v *gcs.View) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.view = v.Clone()
 	switch b.cfg.Style {
 	case Open:
 		if !v.Contains(b.rm) {
@@ -381,21 +425,168 @@ func (b *Binding) onView(v *gcs.View) {
 	}
 }
 
-// Invoke performs one invocation on the server group with a fresh call
-// number.
-//
-// Deprecated: use Call with WithMode.
-func (b *Binding) Invoke(ctx context.Context, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	return b.Call(ctx, method, args, WithMode(mode))
+// SessionStamp returns the binding's session token: the newest applied
+// stamp observed in any reply. Reads default their session floor to it,
+// and a smart proxy carries it into its replacement binding on rebind.
+func (b *Binding) SessionStamp() vclock.Stamp {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sessStamp
 }
 
-// InvokeCall performs an invocation with an explicit call identifier;
-// retrying with the same identifier after a rebind never re-executes at
-// the servers (§4.1). The smart proxy relies on this.
-//
-// Deprecated: use Call with WithCallID and WithMode.
-func (b *Binding) InvokeCall(ctx context.Context, call ids.CallID, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	return b.Call(ctx, method, args, WithCallID(call), WithMode(mode))
+// noteStamp folds one reply's applied stamp into the session token.
+func (b *Binding) noteStamp(s vclock.Stamp) {
+	if s == (vclock.Stamp{}) {
+		return
+	}
+	b.mu.Lock()
+	if b.sessStamp.Less(s) {
+		b.sessStamp = s
+	}
+	b.mu.Unlock()
+}
+
+// Read serves one read-only invocation outside the ordering layer
+// (Invoker surface): a point-to-point control call on one replica's NSO,
+// never an ordered multicast. Consistency resolves per call (WithConsistency)
+// over the binding default (BindConfig.ReadConsistency) over Leased; the
+// session floor defaults to the binding's session stamp except for Stale
+// reads (WithMinStamp overrides either way). When every replica refuses a
+// leased read — expired leases during a partition or view change — the
+// read escalates once to Linearizable at the ordering authority, which is
+// at least as fresh as what the caller asked for.
+func (b *Binding) Read(ctx context.Context, method string, args []byte, opts ...CallOption) ([]byte, error) {
+	o := resolveCallOpts(opts)
+	cons := o.consistency
+	if cons == 0 {
+		cons = b.cfg.ReadConsistency
+	}
+	if cons == 0 {
+		cons = Leased
+	}
+	if o.trace == 0 {
+		o.trace = obs.NewTraceID()
+	}
+	min := o.minStamp
+	if !o.hasMin && cons != Stale {
+		min = b.SessionStamp()
+	}
+
+	b.mu.Lock()
+	closed, broken := b.closed, b.broken
+	b.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if broken {
+		return nil, ErrBindingBroken
+	}
+
+	start := time.Now()
+	payload, final, err := b.readOnce(ctx, cons, method, args, min, o.maxStale, uint64(o.trace))
+	if err != nil && !final && cons == Leased {
+		payload, _, err = b.readOnce(ctx, Linearizable, method, args, min, 0, uint64(o.trace))
+	}
+	b.svc.obs.Tracer.Record(obs.Span{
+		Trace: o.trace,
+		Stage: "client.read",
+		Proc:  string(b.svc.ID()),
+		Depth: 0,
+		Start: start,
+		Dur:   time.Since(start),
+		Note:  "consistency=" + cons.String(),
+	})
+	return payload, err
+}
+
+// readOnce encodes the request once and tries each candidate replica in
+// turn. final reports that the error is not improvable by escalating the
+// consistency (an application error, a disabled read path, a spent
+// context); everything else — lease refusals, session floors out of
+// reach, transport failures — leaves escalation open to the caller.
+func (b *Binding) readOnce(ctx context.Context, cons Consistency, method string, args []byte, min vclock.Stamp, maxStale time.Duration, trace uint64) (payload []byte, final bool, err error) {
+	req := encodeReadRequest(&readRequest{
+		Group:       b.cfg.ServerGroup,
+		Method:      method,
+		Args:        args,
+		Consistency: cons,
+		MaxStale:    int64(maxStale),
+		MinStamp:    min,
+		Trace:       trace,
+	})
+	targets := b.readTargets(cons)
+	if len(targets) == 0 {
+		return nil, true, ErrNoServers
+	}
+	var lastErr error
+	leaseRefused := false
+	for _, t := range targets {
+		raw, cerr := b.svc.invokeControl(ctx, t, "read", req)
+		if cerr != nil {
+			if ctx.Err() != nil {
+				return nil, true, ctx.Err()
+			}
+			lastErr = cerr
+			continue
+		}
+		rep, derr := decodeReadReply(raw)
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		switch rep.Code {
+		case readOK:
+			b.noteStamp(rep.Stamp)
+			return rep.Payload, true, nil
+		case readErrApp:
+			b.noteStamp(rep.Stamp)
+			return nil, true, fmt.Errorf("core: read %s at %s: %s", method, t, rep.Err)
+		case readErrDisabled:
+			return nil, true, ErrReadDisabled
+		case readErrLease:
+			leaseRefused = true
+			lastErr = fmt.Errorf("core: read at %s: %s", t, rep.Err)
+		default: // readErrNotSeq, readErrMinStamp, readErrRetry
+			lastErr = fmt.Errorf("core: read at %s: %s", t, rep.Err)
+		}
+	}
+	if leaseRefused {
+		return nil, false, fmt.Errorf("%w: %v", ErrLeaseExpired, lastErr)
+	}
+	return nil, false, lastErr
+}
+
+// readTargets orders the candidate replicas for one read. Reads are
+// point-to-point, so the pool is the whole server group — not the
+// client/server group, which for an open binding holds only the request
+// manager. Linearizable reads go lowest-identifier first (that member is
+// the sequencer, the only replica that can serve them without a redirect);
+// leased and stale reads rotate, advancing the favourite every ReadRenew.
+func (b *Binding) readTargets(cons Consistency) []ids.ProcessID {
+	var pool []ids.ProcessID
+	if b.cfg.Style == Closed {
+		pool = b.Servers() // bind-time membership filtered by the live view
+	}
+	if len(pool) == 0 {
+		pool = b.KnownServers()
+	}
+	pool = ids.SortProcesses(pool)
+	if cons == Linearizable || len(pool) < 2 {
+		return pool
+	}
+	b.mu.Lock()
+	now := time.Now()
+	if b.readPickAt.IsZero() || now.Sub(b.readPickAt) >= b.cfg.ReadRenew {
+		b.readIdx++
+		b.readPickAt = now
+	}
+	first := b.readIdx % len(pool)
+	b.mu.Unlock()
+	out := make([]ids.ProcessID, 0, len(pool))
+	for i := 0; i < len(pool); i++ {
+		out = append(out, pool[(first+i)%len(pool)])
+	}
+	return out
 }
 
 // Call performs one invocation and blocks for the mode's reply quorum
@@ -537,6 +728,7 @@ func (b *Binding) awaitReplySet(ctx context.Context, w *callWaiter) ([]Reply, er
 		}
 		out := make([]Reply, 0, len(set.Replies))
 		for _, rep := range set.Replies {
+			b.noteStamp(rep.Stamp)
 			out = append(out, rep.toReply())
 		}
 		if len(out) == 0 {
@@ -564,6 +756,7 @@ func (b *Binding) awaitDirectReplies(ctx context.Context, w *callWaiter, mode Re
 		}
 		select {
 		case rep := <-w.replies:
+			b.noteStamp(rep.Stamp)
 			got[rep.Server] = rep
 		case <-b.viewCh:
 			// membership changed: quorum size re-evaluates

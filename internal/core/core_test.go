@@ -150,7 +150,7 @@ func TestOpenInvokeModes(t *testing.T) {
 		{core.All, 3},
 	}
 	for _, tc := range cases {
-		replies, err := b.Invoke(ctxT(t, 10*time.Second), "echo", []byte("hi"), tc.mode)
+		replies, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("hi"), core.WithMode(tc.mode))
 		if err != nil {
 			t.Fatalf("%v: %v", tc.mode, err)
 		}
@@ -176,7 +176,7 @@ func TestClosedInvokeModes(t *testing.T) {
 	if got := len(b.Servers()); got != 3 {
 		t.Fatalf("closed binding has %d servers, want 3", got)
 	}
-	replies, err := b.Invoke(ctxT(t, 10*time.Second), "echo", []byte("x"), core.All)
+	replies, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("x"), core.WithMode(core.All))
 	if err != nil {
 		t.Fatalf("wait-for-all: %v", err)
 	}
@@ -193,7 +193,7 @@ func TestOneWayExecutesEverywhere(t *testing.T) {
 	}
 	defer b.Close()
 
-	if _, err := b.Invoke(ctxT(t, 5*time.Second), "touch", nil, core.OneWay); err != nil {
+	if _, err := b.Call(ctxT(t, 5*time.Second), "touch", nil, core.WithMode(core.OneWay)); err != nil {
 		t.Fatalf("one-way: %v", err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -226,7 +226,7 @@ func TestAsyncForwardOptimisation(t *testing.T) {
 	if b.RequestManager() != "s00" {
 		t.Fatalf("restricted binding chose %s, want the leader s00", b.RequestManager())
 	}
-	replies, err := b.Invoke(ctxT(t, 10*time.Second), "echo", []byte("p"), core.First)
+	replies, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("p"), core.WithMode(core.First))
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -245,7 +245,7 @@ func TestProxyRebindsAfterRMFailure(t *testing.T) {
 	}
 	defer p.Close()
 
-	if _, err := p.Invoke(ctxT(t, 10*time.Second), "echo", []byte("1"), core.First); err != nil {
+	if _, err := p.Call(ctxT(t, 10*time.Second), "echo", []byte("1"), core.WithMode(core.First)); err != nil {
 		t.Fatalf("first invoke: %v", err)
 	}
 	rm := p.Binding().RequestManager()
@@ -255,7 +255,7 @@ func TestProxyRebindsAfterRMFailure(t *testing.T) {
 
 	// Kill the request manager; the proxy must rebind and keep working.
 	w.net.Sim().Crash(rm)
-	replies, err := p.Invoke(ctxT(t, 20*time.Second), "echo", []byte("2"), core.First)
+	replies, err := p.Call(ctxT(t, 20*time.Second), "echo", []byte("2"), core.WithMode(core.First))
 	if err != nil {
 		t.Fatalf("invoke after crash: %v", err)
 	}

@@ -35,7 +35,7 @@ func TestRMCrashAtEveryPipelineStage(t *testing.T) {
 			rm := p.Binding().RequestManager()
 
 			// Warm call so the pipeline is steady.
-			if _, err := p.Invoke(ctxT(t, 10*time.Second), "echo", []byte("w"), core.All); err != nil {
+			if _, err := p.Call(ctxT(t, 10*time.Second), "echo", []byte("w"), core.WithMode(core.All)); err != nil {
 				t.Fatalf("warm-up: %v", err)
 			}
 
@@ -45,7 +45,7 @@ func TestRMCrashAtEveryPipelineStage(t *testing.T) {
 				w.net.Sim().Crash(rm)
 				close(crashed)
 			}()
-			replies, err := p.Invoke(ctxT(t, 30*time.Second), "echo", []byte("x"), core.All)
+			replies, err := p.Call(ctxT(t, 30*time.Second), "echo", []byte("x"), core.WithMode(core.All))
 			<-crashed
 			if err != nil {
 				t.Fatalf("invoke with crash at +%v: %v", delay, err)
@@ -69,7 +69,7 @@ func TestRMCrashAtEveryPipelineStage(t *testing.T) {
 			}
 
 			// And the system keeps working afterwards.
-			if _, err := p.Invoke(ctxT(t, 20*time.Second), "echo", []byte("post"), core.Majority); err != nil {
+			if _, err := p.Call(ctxT(t, 20*time.Second), "echo", []byte("post"), core.WithMode(core.Majority)); err != nil {
 				t.Fatalf("post-crash invoke: %v", err)
 			}
 		})
@@ -90,7 +90,7 @@ func TestSequentialRMCrashes(t *testing.T) {
 	defer p.Close()
 
 	for round := 0; round < 2; round++ {
-		if _, err := p.Invoke(ctxT(t, 30*time.Second), "echo", []byte(fmt.Sprint(round)), core.First); err != nil {
+		if _, err := p.Call(ctxT(t, 30*time.Second), "echo", []byte(fmt.Sprint(round)), core.WithMode(core.First)); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		rm := p.Binding().RequestManager()
@@ -98,7 +98,7 @@ func TestSequentialRMCrashes(t *testing.T) {
 	}
 	// The final rebind may walk through dead contacts (one BindTimeout
 	// each) before reaching the survivor; budget generously.
-	replies, err := p.Invoke(ctxT(t, 90*time.Second), "echo", []byte("last"), core.First)
+	replies, err := p.Call(ctxT(t, 90*time.Second), "echo", []byte("last"), core.WithMode(core.First))
 	if err != nil {
 		t.Fatalf("final invoke: %v", err)
 	}
@@ -115,7 +115,7 @@ func TestClientCrashReleasesServerSideBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Invoke(ctxT(t, 10*time.Second), "echo", []byte("x"), core.First); err != nil {
+	if _, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("x"), core.WithMode(core.First)); err != nil {
 		t.Fatal(err)
 	}
 	rm := b.RequestManager()

@@ -10,6 +10,7 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/vclock"
 )
 
 // G2G is a group-to-group binding (paper §4.3): the members of a client
@@ -23,13 +24,18 @@ import (
 type G2G struct {
 	svc         *Service
 	clientGroup ids.GroupID
+	serverGroup ids.GroupID
 	group       *gcs.Group // gz, the client monitor group
 	rm          ids.ProcessID
+	readCons    Consistency // default Read consistency (BindConfig.ReadConsistency)
 
 	mu       sync.Mutex
 	broken   bool
 	brokenCh chan struct{}
 	closed   bool
+	// sessStamp is this member's session token (newest applied stamp seen
+	// in any aggregated reply); its reads use it as their session floor.
+	sessStamp vclock.Stamp
 
 	loopDone chan struct{}
 }
@@ -89,8 +95,10 @@ func (s *Service) BindGroupToGroup(ctx context.Context, clientGroup *gcs.Group, 
 	g := &G2G{
 		svc:         s,
 		clientGroup: clientGroup.ID(),
+		serverGroup: cfg.ServerGroup,
 		group:       gz,
 		rm:          rm,
+		readCons:    cfg.ReadConsistency,
 		brokenCh:    make(chan struct{}),
 		loopDone:    make(chan struct{}),
 	}
@@ -175,16 +183,100 @@ func (g *G2G) loop() {
 	}
 }
 
-// Invoke issues one group-to-group call. Every member of the client group
-// must invoke with the same call number (e.g. an index derived from the
-// client group's own totally-ordered delivery stream) so the request
-// manager can filter duplicates; the aggregated reply is delivered to all
-// members.
-//
-// Deprecated: use Call with WithCallID (the identifier's Number is the
-// shared per-call number) and WithMode.
-func (g *G2G) Invoke(ctx context.Context, number uint64, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	return g.Call(ctx, method, args, WithCallID(ids.CallID{Number: number}), WithMode(mode))
+// SessionStamp returns this member's session token: the newest applied
+// stamp observed in any aggregated reply.
+func (g *G2G) SessionStamp() vclock.Stamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sessStamp
+}
+
+// noteStamp folds one reply's applied stamp into the session token.
+func (g *G2G) noteStamp(s vclock.Stamp) {
+	if s == (vclock.Stamp{}) {
+		return
+	}
+	g.mu.Lock()
+	if g.sessStamp.Less(s) {
+		g.sessStamp = s
+	}
+	g.mu.Unlock()
+}
+
+// Read serves one read-only invocation at the request manager (Invoker
+// surface): a point-to-point control call, outside both the monitor
+// group's and the server group's ordering. Unlike Call, reads need no
+// shared call number — they execute nowhere but the serving replica, so
+// there are no duplicate copies to filter; each client-group member reads
+// independently against its own session floor. A refused leased read
+// escalates once to Linearizable at the same replica.
+func (g *G2G) Read(ctx context.Context, method string, args []byte, opts ...CallOption) ([]byte, error) {
+	o := resolveCallOpts(opts)
+	cons := o.consistency
+	if cons == 0 {
+		cons = g.readCons
+	}
+	if cons == 0 {
+		cons = Leased
+	}
+	if o.trace == 0 {
+		o.trace = obs.NewTraceID()
+	}
+	min := o.minStamp
+	if !o.hasMin && cons != Stale {
+		min = g.SessionStamp()
+	}
+	g.mu.Lock()
+	closed, broken := g.closed, g.broken
+	g.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if broken {
+		return nil, ErrBindingBroken
+	}
+	payload, err := g.readAt(ctx, cons, method, args, min, o.maxStale, uint64(o.trace))
+	if err != nil && cons == Leased && errors.Is(err, ErrLeaseExpired) {
+		payload, err = g.readAt(ctx, Linearizable, method, args, min, 0, uint64(o.trace))
+	}
+	return payload, err
+}
+
+// readAt performs one read control call on the request manager.
+func (g *G2G) readAt(ctx context.Context, cons Consistency, method string, args []byte, min vclock.Stamp, maxStale time.Duration, trace uint64) ([]byte, error) {
+	req := encodeReadRequest(&readRequest{
+		Group:       g.serverGroup,
+		Method:      method,
+		Args:        args,
+		Consistency: cons,
+		MaxStale:    int64(maxStale),
+		MinStamp:    min,
+		Trace:       trace,
+	})
+	raw, err := g.svc.invokeControl(ctx, g.rm, "read", req)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := decodeReadReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch rep.Code {
+	case readOK:
+		g.noteStamp(rep.Stamp)
+		return rep.Payload, nil
+	case readErrApp:
+		g.noteStamp(rep.Stamp)
+		return nil, fmt.Errorf("core: read %s at %s: %s", method, g.rm, rep.Err)
+	case readErrDisabled:
+		return nil, ErrReadDisabled
+	case readErrLease:
+		return nil, fmt.Errorf("%w: %s", ErrLeaseExpired, rep.Err)
+	case readErrNotSeq:
+		return nil, fmt.Errorf("%w: %s", ErrNotLinearizable, rep.Err)
+	default:
+		return nil, fmt.Errorf("core: read at %s: %s", g.rm, rep.Err)
+	}
 }
 
 // Call performs one group-to-group invocation and blocks for the
@@ -298,6 +390,7 @@ func (g *G2G) awaitSet(ctx context.Context, w *callWaiter) ([]Reply, error) {
 		}
 		out := make([]Reply, 0, len(set.Replies))
 		for _, rep := range set.Replies {
+			g.noteStamp(rep.Stamp)
 			out = append(out, rep.toReply())
 		}
 		if len(out) == 0 {

@@ -51,7 +51,7 @@ func TestGroupRefOfAndDial(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer p.Close()
-	replies, err := p.Invoke(ctxT(t, 20*time.Second), "echo", []byte("via-ref"), core.First)
+	replies, err := p.Call(ctxT(t, 20*time.Second), "echo", []byte("via-ref"), core.WithMode(core.First))
 	if err != nil {
 		t.Fatal(err)
 	}

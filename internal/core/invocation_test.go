@@ -48,7 +48,7 @@ func TestRetrySameCallExecutesOnce(t *testing.T) {
 
 	call := ids.CallID{Client: w.clients[0].ID(), Number: 999}
 	for attempt := 0; attempt < 3; attempt++ {
-		replies, err := b.InvokeCall(ctxT(t, 10*time.Second), call, "echo", []byte("idem"), core.All)
+		replies, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("idem"), core.WithCallID(call), core.WithMode(core.All))
 		if err != nil {
 			t.Fatalf("attempt %d: %v", attempt, err)
 		}
@@ -73,7 +73,7 @@ func TestApplicationErrorsPropagate(t *testing.T) {
 	}
 	defer b.Close()
 
-	replies, err := b.Invoke(ctxT(t, 10*time.Second), "fail", nil, core.All)
+	replies, err := b.Call(ctxT(t, 10*time.Second), "fail", nil, core.WithMode(core.All))
 	if err != nil {
 		t.Fatalf("transport-level error: %v", err)
 	}
@@ -95,7 +95,7 @@ func TestMajorityToleratesOneCrash(t *testing.T) {
 	// Crash a non-anchor server. Wait-for-majority completes immediately
 	// (2 of 3 replies) even before the failure is detected.
 	w.net.Sim().Crash("s02")
-	replies, err := b.Invoke(ctxT(t, 15*time.Second), "echo", []byte("q"), core.Majority)
+	replies, err := b.Call(ctxT(t, 15*time.Second), "echo", []byte("q"), core.WithMode(core.Majority))
 	if err != nil {
 		t.Fatalf("majority right after crash: %v", err)
 	}
@@ -109,9 +109,9 @@ func TestMajorityToleratesOneCrash(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("membership never shrank: %v", b.Servers())
 		}
-		_, _ = b.Invoke(ctxT(t, 300*time.Millisecond), "echo", []byte("tick"), core.Majority)
+		_, _ = b.Call(ctxT(t, 300*time.Millisecond), "echo", []byte("tick"), core.WithMode(core.Majority))
 	}
-	if _, err := b.Invoke(ctxT(t, 15*time.Second), "echo", []byte("q2"), core.All); err != nil {
+	if _, err := b.Call(ctxT(t, 15*time.Second), "echo", []byte("q2"), core.WithMode(core.All)); err != nil {
 		t.Fatalf("wait-for-all against survivors: %v", err)
 	}
 }
@@ -131,7 +131,7 @@ func TestBindingCloseReleasesServers(t *testing.T) {
 		t.Fatalf("rebind after close: %v", err)
 	}
 	defer b2.Close()
-	if _, err := b2.Invoke(ctxT(t, 10*time.Second), "echo", []byte("z"), core.First); err != nil {
+	if _, err := b2.Call(ctxT(t, 10*time.Second), "echo", []byte("z"), core.WithMode(core.First)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -151,9 +151,9 @@ func TestInvokeOnBrokenBindingFails(t *testing.T) {
 			t.Fatal("binding never noticed the dead request manager")
 		}
 		// Traffic wakes the event-driven suspector.
-		_, _ = b.Invoke(ctxT(t, 200*time.Millisecond), "echo", nil, core.First)
+		_, _ = b.Call(ctxT(t, 200*time.Millisecond), "echo", nil, core.WithMode(core.First))
 	}
-	if _, err := b.Invoke(ctxT(t, time.Second), "echo", nil, core.First); !errors.Is(err, core.ErrBindingBroken) {
+	if _, err := b.Call(ctxT(t, time.Second), "echo", nil, core.WithMode(core.First)); !errors.Is(err, core.ErrBindingBroken) {
 		t.Fatalf("want ErrBindingBroken, got %v", err)
 	}
 }
@@ -264,7 +264,7 @@ func TestGroupToGroupFiltersDuplicates(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				replies, err := g2gs[i].Invoke(ctx, uint64(n), "do", []byte(fmt.Sprintf("job%d", n)), core.All)
+				replies, err := g2gs[i].Call(ctx, "do", []byte(fmt.Sprintf("job%d", n)), core.WithCallID(ids.CallID{Number: uint64(n)}), core.WithMode(core.All))
 				if err != nil {
 					t.Errorf("worker %d call %d: %v", i, n, err)
 					return
@@ -304,10 +304,10 @@ func TestOpenAndClosedCoexist(t *testing.T) {
 	defer bc.Close()
 
 	for i := 0; i < 3; i++ {
-		if _, err := bo.Invoke(ctxT(t, 10*time.Second), "echo", []byte("open"), core.All); err != nil {
+		if _, err := bo.Call(ctxT(t, 10*time.Second), "echo", []byte("open"), core.WithMode(core.All)); err != nil {
 			t.Fatalf("open: %v", err)
 		}
-		if _, err := bc.Invoke(ctxT(t, 10*time.Second), "echo", []byte("closed"), core.All); err != nil {
+		if _, err := bc.Call(ctxT(t, 10*time.Second), "echo", []byte("closed"), core.WithMode(core.All)); err != nil {
 			t.Fatalf("closed: %v", err)
 		}
 	}

@@ -25,17 +25,27 @@ type coreMetrics struct {
 	asyncCalls        *obs.Counter
 	asyncCancelled    *obs.Counter
 	asyncInflightHigh *obs.Gauge
+	// reads counts read control calls served at a replica; readRefused
+	// counts the ones turned away (lease expired, wrong consistency
+	// authority, session floor unreachable). readLatency is the replica-
+	// side service time of successful reads.
+	reads       *obs.Counter
+	readRefused *obs.Counter
+	readLatency *obs.Histogram
 }
 
 func newCoreMetrics(o *obs.Obs) *coreMetrics {
 	m := &coreMetrics{
-		execLatency: o.Reg.Histogram("core_exec_latency"),
-		rmRelays:    o.Reg.Counter("core_rm_relays"),
-		monitorDups: o.Reg.Counter("core_monitor_dup_filtered"),
-		rebinds:     o.Reg.Counter("core_proxy_rebinds"),
+		execLatency:       o.Reg.Histogram("core_exec_latency"),
+		rmRelays:          o.Reg.Counter("core_rm_relays"),
+		monitorDups:       o.Reg.Counter("core_monitor_dup_filtered"),
+		rebinds:           o.Reg.Counter("core_proxy_rebinds"),
 		asyncCalls:        o.Reg.Counter("core_async_calls"),
 		asyncCancelled:    o.Reg.Counter("core_async_cancelled"),
 		asyncInflightHigh: o.Reg.Gauge("core_async_inflight_highwater"),
+		reads:             o.Reg.Counter("core_reads"),
+		readRefused:       o.Reg.Counter("core_reads_refused"),
+		readLatency:       o.Reg.Histogram("core_read_latency"),
 	}
 	for mode := OneWay; mode <= All; mode++ {
 		m.invokeLatency[mode] = o.Reg.Histogram("core_invoke_latency_" + obs.Sanitize(mode.String()))

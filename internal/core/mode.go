@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"newtop/internal/ids"
+	"newtop/internal/vclock"
 )
 
 // ReplyMode selects how many server replies an invocation waits for
@@ -110,6 +111,19 @@ var (
 	ErrClosed = errors.New("core: closed")
 	// ErrNoServers is returned when a server group has no members.
 	ErrNoServers = errors.New("core: no servers")
+	// ErrReadDisabled is returned by Read when the server group has no
+	// read path (the server group's gcs configuration has LeaseTicks
+	// zero); callers that must work either way fall back to an ordered
+	// Call (internal/rsm does this).
+	ErrReadDisabled = errors.New("core: read path disabled (server group has no LeaseTicks)")
+	// ErrLeaseExpired is returned when every contacted replica refused a
+	// leased read because its lease evidence was older than the staleness
+	// bound (e.g. the replica is partitioned from the grantor).
+	ErrLeaseExpired = errors.New("core: read lease expired at every replica")
+	// ErrNotLinearizable is returned when the linearizable read barrier
+	// could not run (no replica is the ordering authority, or the
+	// frontier wait failed).
+	ErrNotLinearizable = errors.New("core: linearizable read barrier unavailable")
 )
 
 // Reply is one server's answer to an invocation.
@@ -120,4 +134,10 @@ type Reply struct {
 	Payload []byte
 	// Err is the application error raised by that server, if any.
 	Err error
+	// Stamp is the total-order stamp of the write as applied at that
+	// server: the session token of read-your-writes. A binding remembers
+	// the newest stamp it has seen and sends it as the floor of its
+	// subsequent reads, so a read served by a different replica waits
+	// until that replica's executed prefix covers the session's writes.
+	Stamp vclock.Stamp
 }

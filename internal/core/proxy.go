@@ -8,6 +8,7 @@ import (
 
 	"newtop/internal/ids"
 	"newtop/internal/obs"
+	"newtop/internal/vclock"
 )
 
 // Proxy is the paper's "smart proxy" (§2.1): a binding wrapper that, when
@@ -57,14 +58,6 @@ func (p *Proxy) Close() error {
 		return b.Close()
 	}
 	return nil
-}
-
-// Invoke calls the server group, rebinding and retrying (with the same
-// call number) whenever the binding breaks under it.
-//
-// Deprecated: use Call with WithMode.
-func (p *Proxy) Invoke(ctx context.Context, method string, args []byte, mode ReplyMode) ([]Reply, error) {
-	return p.Call(ctx, method, args, WithMode(mode))
 }
 
 // Call performs one invocation (Invoker surface), rebinding and retrying
@@ -154,6 +147,62 @@ func (p *Proxy) callResolved(ctx context.Context, method string, args []byte, o 
 	return nil, fmt.Errorf("core: proxy exhausted rebinds: %w", lastErr)
 }
 
+// Read serves one read-only invocation through the current binding
+// (Invoker surface), rebinding and retrying when the binding breaks.
+// Reads carry no call number — they never execute as ordered requests, so
+// there is nothing to retain — but the session token survives the rebind:
+// the replacement binding inherits the old one's stamp, so read-your-writes
+// holds across a request manager failure.
+func (p *Proxy) Read(ctx context.Context, method string, args []byte, opts ...CallOption) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= maxRebinds; attempt++ {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		b := p.binding
+		p.mu.Unlock()
+
+		if b == nil || b.Broken() {
+			var avoid ids.ProcessID
+			if b != nil {
+				avoid = b.RequestManager()
+			}
+			if err := p.rebind(ctx, avoid); err != nil {
+				lastErr = err
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			continue
+		}
+
+		payload, err := b.Read(ctx, method, args, opts...)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrBindingBroken) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("core: proxy exhausted rebinds: %w", lastErr)
+}
+
+// SessionStamp returns the current binding's session token (zero when the
+// proxy is between bindings).
+func (p *Proxy) SessionStamp() vclock.Stamp {
+	p.mu.Lock()
+	b := p.binding
+	p.mu.Unlock()
+	if b == nil {
+		return vclock.Stamp{}
+	}
+	return b.SessionStamp()
+}
+
 // rebind forms a fresh binding, avoiding the failed request manager.
 func (p *Proxy) rebind(ctx context.Context, avoid ids.ProcessID) error {
 	p.mu.Lock()
@@ -162,9 +211,11 @@ func (p *Proxy) rebind(ctx context.Context, avoid ids.ProcessID) error {
 	candidates := make([]ids.ProcessID, len(p.members))
 	copy(candidates, p.members)
 	p.mu.Unlock()
+	var session vclock.Stamp
 	if old != nil {
 		// Only re-binds count — the initial NewProxy bind is not a failure.
 		p.svc.metrics.rebinds.Inc()
+		session = old.SessionStamp()
 		_ = old.Close()
 	}
 
@@ -209,6 +260,7 @@ func (p *Proxy) rebind(ctx context.Context, avoid ids.ProcessID) error {
 			_ = b.Close()
 			return ErrClosed
 		}
+		b.noteStamp(session) // read-your-writes survives the rebind
 		p.binding = b
 		p.members = b.KnownServers()
 		p.mu.Unlock()

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+	"newtop/internal/netsim"
+	"newtop/internal/transport/memnet"
+)
+
+// TestAllocGuardLeasedRead budgets the leased-read hot path (run by ci.sh's
+// AllocGuard stage): lease check, session-floor fast path, handler run and
+// reply construction. The request is pre-built and the handler returns a
+// preallocated value, so the measurement covers serveReadLocal itself —
+// the path the static allocation budget (internal/lint/allocbudget.go)
+// also pins at the SSA level.
+//
+// A single-member group keeps the measurement deterministic: the lone
+// member is its own sequencer with a majority-of-one, so the lease is
+// permanently valid with every protocol timer parked on hour-long
+// quiescent values (no background ticks to pollute AllocsPerRun, which
+// counts process-wide).
+func TestAllocGuardLeasedRead(t *testing.T) {
+	net := memnet.New(netsim.New(netsim.FastProfile(), 1))
+	ep, err := net.Endpoint("solo", netsim.SiteLAN)
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	svc := NewService(ep)
+	defer svc.Close()
+
+	value := []byte("42")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv, err := svc.Serve(ctx, ServeConfig{
+		Group: "alloc",
+		Handler: func(method string, args []byte) ([]byte, error) {
+			return value, nil
+		},
+		GCS: gcs.GroupConfig{
+			Order:          gcs.OrderSequencer,
+			TimeSilence:    time.Hour,
+			SuspectTimeout: time.Hour,
+			Resend:         time.Hour,
+			FlushTimeout:   time.Hour,
+			Tick:           time.Hour,
+			LeaseTicks:     100,
+		},
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	req := &readRequest{Group: "alloc", Method: "get", Consistency: Leased}
+	// Warm the path (lazy metric state, reply pooling) before measuring.
+	for i := 0; i < 64; i++ {
+		if rep := srv.serveRead(req); rep.Code != readOK {
+			t.Fatalf("warmup read refused: %+v", rep)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if rep := srv.serveRead(req); rep.Code != readOK {
+			t.Fatalf("read refused: %+v", rep)
+		}
+	})
+	t.Logf("leased read: %.1f allocs/op", avg)
+	const budget = 8
+	if avg > budget {
+		t.Fatalf("leased read allocates %.1f/op, budget %d", avg, budget)
+	}
+}

@@ -257,30 +257,46 @@ func (srv *Server) handleGroupEvent(ev gcs.Event) {
 	switch ev.Type {
 	case gcs.EventDeliver:
 		msg, err := decodePayload(ev.Deliver.Payload)
-		if err != nil {
-			return
-		}
-		switch m := msg.(type) {
-		case *invRequest:
-			switch {
-			case m.Forwarded:
-				srv.serveForwarded(m, ev.Deliver.Stamp)
-			case m.Style == Closed:
-				// A closed-bound client (a fellow group member)
-				// multicast this request; execute and reply straight
-				// to it (fig. 3(i)).
-				srv.serveClosed(m, ev.Deliver.Stamp)
+		if err == nil {
+			switch m := msg.(type) {
+			case *invRequest:
+				switch {
+				case m.Forwarded:
+					srv.serveForwarded(m, ev.Deliver.Stamp)
+				case m.Style == Closed:
+					// A closed-bound client (a fellow group member)
+					// multicast this request; execute and reply straight
+					// to it (fig. 3(i)).
+					srv.serveClosed(m, ev.Deliver.Stamp)
+				}
+			case *invReply:
+				srv.collectReply(*m)
+			case helloMsg:
+				srv.mu.Lock()
+				srv.roster[ev.Deliver.Sender] = true
+				srv.mu.Unlock()
 			}
-		case *invReply:
-			srv.collectReply(*m)
-		case helloMsg:
-			srv.mu.Lock()
-			srv.roster[ev.Deliver.Sender] = true
-			srv.mu.Unlock()
 		}
+		// Every delivered position is applied once handled: requests by
+		// executeOnce above, everything else (gathered replies, roster
+		// hellos, unparseable payloads) vacuously. Reads wait on delivery
+		// stamps (session floors, read-index frontiers), so the executed
+		// frontier must cover non-request traffic too or a read could
+		// stall on a stamp no execution will ever carry.
+		srv.noteApplied(ev.Deliver.Stamp)
 	case gcs.EventView:
 		srv.onGroupView(ev.View)
 	}
+}
+
+// noteApplied advances the executed-prefix stamp past a consumed,
+// state-neutral delivery.
+func (srv *Server) noteApplied(stamp vclock.Stamp) {
+	srv.execMu.Lock()
+	if srv.lastExec.Less(stamp) {
+		srv.lastExec = stamp
+	}
+	srv.execMu.Unlock()
 }
 
 // serveForwarded executes a request distributed through the server group
@@ -292,7 +308,7 @@ func (srv *Server) serveForwarded(req *invRequest, stamp vclock.Stamp) {
 	if req.AsyncFwd || req.Mode == OneWay {
 		return
 	}
-	_ = fresh // a retried call re-multicasts the retained reply (§4.1)
+	_ = fresh                                                       // a retried call re-multicasts the retained reply (§4.1)
 	_ = srv.group.Multicast(context.Background(), encodeReply(rep)) //lint:ok errdrop best-effort: the client retries and gets the retained reply
 }
 
@@ -308,7 +324,7 @@ func (srv *Server) executeOnce(call ids.CallID, method string, args []byte, stam
 	start := time.Now()
 	payload, err := srv.cfg.Handler(method, args)
 	d := time.Since(start)
-	rep := invReply{Call: call, Server: srv.svc.ID(), Payload: payload, Trace: trace, ExecNanos: int64(d)}
+	rep := invReply{Call: call, Server: srv.svc.ID(), Payload: payload, Trace: trace, ExecNanos: int64(d), Stamp: stamp}
 	if err != nil {
 		rep.Err = err.Error()
 	}
@@ -638,7 +654,7 @@ func (srv *Server) serveAsyncForward(b *gcs.Group, req *invRequest) {
 		start := time.Now()
 		payload, err := srv.cfg.Handler(req.Method, req.Args)
 		d := time.Since(start)
-		r := invReply{Call: req.Call, Server: srv.svc.ID(), Payload: payload, Trace: req.Trace, ExecNanos: int64(d)}
+		r := invReply{Call: req.Call, Server: srv.svc.ID(), Payload: payload, Trace: req.Trace, ExecNanos: int64(d), Stamp: srv.lastExec}
 		if err != nil {
 			r.Err = err.Error()
 		}

@@ -198,6 +198,19 @@ func (s *Service) control(method string, args []byte) ([]byte, error) {
 			return nil, err
 		}
 		return encodeStateSnapshot(snap), nil
+	case "read":
+		// The read path: a point-to-point read served outside the
+		// ordering layer (see readserver.go). Refusals travel in-band in
+		// the readReply code so the client can try another replica.
+		req, err := decodeReadRequest(args)
+		if err != nil {
+			return nil, err
+		}
+		srv := s.serverFor(req.Group)
+		if srv == nil {
+			return nil, fmt.Errorf("core: not serving group %q", req.Group)
+		}
+		return encodeReadReply(srv.serveRead(req)), nil
 	case "ping":
 		return []byte("pong"), nil
 	case "reply":

@@ -127,7 +127,7 @@ func TestStateTransferCatchesUpJoiningReplica(t *testing.T) {
 	}
 	defer b.Close()
 	for i := 0; i < 10; i++ {
-		if _, err := b.Invoke(ctx, "put", []byte(fmt.Sprintf("k%d=v%d", i, i)), core.All); err != nil {
+		if _, err := b.Call(ctx, "put", []byte(fmt.Sprintf("k%d=v%d", i, i)), core.WithMode(core.All)); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
@@ -156,7 +156,7 @@ func TestStateTransferCatchesUpJoiningReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b2.Close()
-	if _, err := b2.Invoke(ctx, "put", []byte("after=join"), core.All); err != nil {
+	if _, err := b2.Call(ctx, "put", []byte("after=join"), core.WithMode(core.All)); err != nil {
 		t.Fatalf("post-join put: %v", err)
 	}
 
@@ -256,7 +256,7 @@ func TestStateTransferUnderLoad(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := b.Invoke(ctx, "put", []byte(fmt.Sprintf("live%d=x%d", i, i)), core.Majority); err != nil {
+			if _, err := b.Call(ctx, "put", []byte(fmt.Sprintf("live%d=x%d", i, i)), core.WithMode(core.Majority)); err != nil {
 				writerErr = err
 				return
 			}

@@ -162,7 +162,7 @@ func TestTracePropagationOpenBinding(t *testing.T) {
 	}
 	defer b.Close()
 
-	if _, err := b.Invoke(ctxT(t, 10*time.Second), "echo", []byte("x"), core.All); err != nil {
+	if _, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("x"), core.WithMode(core.All)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -206,7 +206,7 @@ func TestTracePropagationClosedBinding(t *testing.T) {
 	}
 	defer b.Close()
 
-	if _, err := b.Invoke(ctxT(t, 10*time.Second), "echo", []byte("x"), core.All); err != nil {
+	if _, err := b.Call(ctxT(t, 10*time.Second), "echo", []byte("x"), core.WithMode(core.All)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -313,7 +313,7 @@ func TestTracePropagationGroupToGroup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := g2gs[i].Invoke(ctx, callNumber, "do", []byte("job"), core.All); err != nil {
+			if _, err := g2gs[i].Call(ctx, "do", []byte("job"), core.WithCallID(ids.CallID{Number: callNumber}), core.WithMode(core.All)); err != nil {
 				t.Errorf("worker %d: %v", i, err)
 			}
 		}()

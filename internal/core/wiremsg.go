@@ -6,6 +6,7 @@ import (
 
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
+	"newtop/internal/vclock"
 	"newtop/internal/wire"
 )
 
@@ -67,6 +68,10 @@ type invReply struct {
 	// the request manager can reconstruct remote execution spans without
 	// cross-host clock comparisons.
 	ExecNanos int64
+	// Stamp is the total-order stamp of this call as applied at the
+	// server — the session token the client's binding remembers for
+	// read-your-writes (see Reply.Stamp).
+	Stamp vclock.Stamp
 }
 
 // invReplySet is the request manager's aggregated answer, multicast in the
@@ -81,7 +86,7 @@ type invReplySet struct {
 }
 
 func (r invReply) toReply() Reply {
-	out := Reply{Server: r.Server, Payload: r.Payload}
+	out := Reply{Server: r.Server, Payload: r.Payload, Stamp: r.Stamp}
 	if r.Err != "" {
 		out.Err = fmt.Errorf("core: server %s: %s", r.Server, r.Err)
 	}
@@ -115,6 +120,7 @@ func putReply(w *wire.Writer, m invReply) {
 	w.String(m.Err)
 	w.Uvarint(m.Trace)
 	w.Varint(m.ExecNanos)
+	putStamp(w, m.Stamp)
 }
 
 func getReply(r *wire.Reader) invReply {
@@ -125,7 +131,17 @@ func getReply(r *wire.Reader) invReply {
 		Err:       r.String(),
 		Trace:     r.Uvarint(),
 		ExecNanos: r.Varint(),
+		Stamp:     getStamp(r),
 	}
+}
+
+func putStamp(w *wire.Writer, s vclock.Stamp) {
+	w.Uvarint(s.Time)
+	w.String(string(s.Sender))
+}
+
+func getStamp(r *wire.Reader) vclock.Stamp {
+	return vclock.Stamp{Time: r.Uvarint(), Sender: ids.ProcessID(r.String())}
 }
 
 func encodeReply(m invReply) []byte {
@@ -243,6 +259,7 @@ func encodeBindRequest(m *bindRequest) []byte {
 	w.Varint(int64(m.Config.Tick))
 	w.Bool(m.Config.Batch)
 	w.Varint(int64(m.Config.BatchLimit))
+	w.Varint(int64(m.Config.LeaseTicks))
 	out := w.Detach()
 	wire.PutWriter(w)
 	return out
@@ -268,6 +285,7 @@ func decodeBindRequest(b []byte) (*bindRequest, error) {
 	m.Config.Tick = durationFromVarint(r)
 	m.Config.Batch = r.Bool()
 	m.Config.BatchLimit = int(r.Varint())
+	m.Config.LeaseTicks = int(r.Varint())
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -275,6 +293,128 @@ func decodeBindRequest(b []byte) (*bindRequest, error) {
 }
 
 func durationFromVarint(r *wire.Reader) time.Duration { return time.Duration(r.Varint()) }
+
+// readRequest is the control call ("newtop.read") a client makes on one
+// replica's NSO: a read served outside the ordering layer, point-to-point
+// over the ORB — never multicast, never sequenced.
+type readRequest struct {
+	// Group is the server group whose servant answers.
+	Group ids.GroupID
+	// Method/Args name the read-only servant method.
+	Method string
+	Args   []byte
+	// Consistency is the read's consistency (never zero on the wire; the
+	// binding resolves its default before encoding).
+	Consistency Consistency
+	// MaxStale tightens a leased read's staleness bound, in nanoseconds
+	// (zero = use the group's configured lease bound). Sent as a duration
+	// because the client does not know the server group's tick period;
+	// the serving replica converts it to ticks of its own timer.
+	MaxStale int64
+	// MinStamp is the session floor: the replica waits until its
+	// executed prefix covers this stamp before answering (read-your-
+	// writes). Zero stamp = no floor.
+	MinStamp vclock.Stamp
+	// Trace is the end-to-end trace identifier (zero = untraced).
+	Trace uint64
+}
+
+// readReply status codes. Anything but readOK means the payload is empty
+// and the client should try another replica, escalate, or fail.
+const (
+	readOK byte = iota
+	// readErrApp: the servant method itself returned an error (Err set).
+	readErrApp
+	// readErrLease: the replica's lease evidence is older than the bound.
+	readErrLease
+	// readErrNotSeq: a linearizable read reached a replica that is not
+	// the ordering authority; retry at the sequencer.
+	readErrNotSeq
+	// readErrMinStamp: the replica could not cover the session floor
+	// within its wait budget.
+	readErrMinStamp
+	// readErrDisabled: the server group has no read path (LeaseTicks=0).
+	readErrDisabled
+	// readErrRetry: transient replica-side failure (group flushing, view
+	// change in progress); try another replica.
+	readErrRetry
+)
+
+// readReply is the replica's answer to a readRequest.
+type readReply struct {
+	Code    byte
+	Payload []byte
+	// Err carries the application error for readErrApp (and a diagnostic
+	// detail for the other non-OK codes).
+	Err string
+	// Stamp is the newest applied stamp of the serving replica — the
+	// session token a read returns (so reads also advance the session).
+	Stamp vclock.Stamp
+	// AgeTicks/BoundTicks echo the serving replica's lease evidence for
+	// observability: how stale the lease was and the bound it was checked
+	// against. Zero for linearizable and stale reads.
+	AgeTicks, BoundTicks uint64
+}
+
+func encodeReadRequest(m *readRequest) []byte {
+	w := wire.GetWriter()
+	w.String(string(m.Group))
+	w.String(m.Method)
+	w.Blob(m.Args)
+	w.Uvarint(uint64(m.Consistency))
+	w.Varint(m.MaxStale)
+	putStamp(w, m.MinStamp)
+	w.Uvarint(m.Trace)
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
+}
+
+func decodeReadRequest(b []byte) (*readRequest, error) {
+	r := wire.NewReader(b)
+	m := &readRequest{
+		Group:       ids.GroupID(r.String()),
+		Method:      r.String(),
+		Args:        r.BlobRef(),
+		Consistency: Consistency(r.Uvarint()),
+		MaxStale:    r.Varint(),
+		MinStamp:    getStamp(r),
+		Trace:       r.Uvarint(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeReadReply(m *readReply) []byte {
+	w := wire.GetWriter()
+	w.Byte(m.Code)
+	w.Blob(m.Payload)
+	w.String(m.Err)
+	putStamp(w, m.Stamp)
+	w.Uvarint(m.AgeTicks)
+	w.Uvarint(m.BoundTicks)
+	out := w.Detach()
+	wire.PutWriter(w)
+	return out
+}
+
+func decodeReadReply(b []byte) (*readReply, error) {
+	r := wire.NewReader(b)
+	m := &readReply{
+		Code:       r.Byte(),
+		Payload:    r.BlobRef(),
+		Err:        r.String(),
+		Stamp:      getStamp(r),
+		AgeTicks:   r.Uvarint(),
+		BoundTicks: r.Uvarint(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 // encodeProcs/decodeProcs carry member lists in ORB control replies.
 func encodeProcs(ps []ids.ProcessID) []byte {

@@ -31,6 +31,7 @@ func TestAllocCrossCheckStaticVsRuntime(t *testing.T) {
 		"newtop/internal/gcs",
 		"newtop/internal/transport/tcpnet",
 		"newtop/internal/obs/flight",
+		"newtop/internal/core",
 	} {
 		p, err := ld.Load(path)
 		if err != nil {
@@ -50,10 +51,11 @@ func TestAllocCrossCheckStaticVsRuntime(t *testing.T) {
 		entry   string
 		runtime int
 	}{
-		{"newtop/internal/gcs.(*Group).Multicast", 8}, // multicast→deliver budget
-		{"newtop/internal/gcs.encodeMessage", 2},      // encode budget
-		{"newtop/internal/gcs.decodeMessage", 7},      // decode budget
-		{"newtop/internal/gcs.(*Node).dispatch", 7},   // ingest ≥ decode budget
+		{"newtop/internal/gcs.(*Group).Multicast", 8},        // multicast→deliver budget
+		{"newtop/internal/gcs.encodeMessage", 2},             // encode budget
+		{"newtop/internal/gcs.decodeMessage", 7},             // decode budget
+		{"newtop/internal/gcs.(*Node).dispatch", 7},          // ingest ≥ decode budget
+		{"newtop/internal/core.(*Server).serveReadLocal", 8}, // leased-read budget
 	}
 	for _, cc := range crossChecks {
 		static, ok := counts[cc.entry]

@@ -133,6 +133,22 @@ type GroupConfig struct {
 	// carry; a full buffer flushes without waiting for the tick. The
 	// default is 64.
 	BatchLimit int
+	// LeaseTicks enables time-bounded read leases: while a member holds a
+	// valid lease it may serve reads from its delivered prefix without
+	// entering the ordering layer, and a partitioned member's lease
+	// expires after LeaseTicks ticks of the group's own timer, so it can
+	// never serve past its staleness bound. Under the sequencer protocol
+	// the sequencer stamps a grant on every message it emits (the grant
+	// piggybacks on the existing ack/ORDER traffic — there is no separate
+	// lease message); under the symmetric protocol the advancing
+	// stability frontier is the grantor: the lease holds while every
+	// fellow member has been heard from within the bound. Leases are
+	// revoked at every view change and while a flush is in progress.
+	// Requires a total-order protocol. LeaseTicks*Tick should comfortably
+	// exceed TimeSilence so renewals outpace expiry; a group with leases
+	// enabled keeps its liveness machinery running even when event-driven
+	// (renewals ride the time-silence traffic). Zero disables leases.
+	LeaseTicks int
 }
 
 // Defaults for the evaluation profile's time scale.
@@ -180,6 +196,9 @@ const defaultBatchLimit = 64
 func (c GroupConfig) validateDomain() error {
 	if c.Domain != "" && c.Order != OrderSymmetric {
 		return fmt.Errorf("gcs: total-order domains require OrderSymmetric, not %v", c.Order)
+	}
+	if c.LeaseTicks > 0 && !c.Order.Total() {
+		return fmt.Errorf("gcs: read leases require a total-order protocol, not %v", c.Order)
 	}
 	return nil
 }

@@ -74,6 +74,20 @@ type Group struct {
 	maxAppStamp   vclock.Stamp           // greatest application stamp ingested from others
 	seqLeader     bool                   // this member is the view's sequencer (OrderSequencer only)
 
+	// Read-lease machinery (cfg.LeaseTicks > 0; see lease.go). Every
+	// expiry decision compares counts of the group's own deterministic
+	// timer, never the wall clock. tickCount and lastDelivStamp survive
+	// view changes (stamps are monotone across views); the grant state is
+	// per-view and reset at installation — a view change revokes leases.
+	tickCount       uint64       // ticks since the group handle was created
+	lastHeardTick   []uint64     // per-position tick of the last accepted current-view traffic
+	leaderPos       int          // member position of the view's leader (-1 while joining)
+	leaseGrantTick  uint64       // tick the last sequencer grant was accepted (0 = none this view)
+	leaseBound      uint64       // bound carried by that grant, in ticks
+	leaseWasValid   bool         // last validity observed by tick() (transition journalling)
+	frontierWaiters int          // ReadIndex waiters parked on cond
+	lastDelivStamp  vclock.Stamp // stamp of the newest delivered application message
+
 	// Delivery queues (see mindex.go): the loop pops deliverable
 	// messages in O(log n) instead of re-sorting the pending set on
 	// every attempt. deliverQ holds all pending messages under the
@@ -183,6 +197,7 @@ func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
 		id:            id,
 		cfg:           cfg,
 		me:            n.ID(),
+		leaderPos:     -1, // no view installed yet
 		metrics:       n.metrics,
 		fr:            n.fr,
 		frProc:        n.frProc,
@@ -428,6 +443,12 @@ func (g *Group) emitDataLocked(null bool, payload []byte) {
 		}
 		m.Assigns = g.assignDeltaLocked(m.Seq)
 		g.announcedHigh = g.assignHigh
+		// Read-lease grant: piggybacked on whatever the sequencer was
+		// sending anyway, but only while it can itself hear a majority —
+		// a deposed minority sequencer stops granting within one bound.
+		if g.cfg.LeaseTicks > 0 && g.quorumHeardLocked(uint64(g.cfg.LeaseTicks)) {
+			m.Lease = uint64(g.cfg.LeaseTicks)
+		}
 	}
 	if g.cfg.ProcessingCost > 0 && !g.batchingLocked() {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-message processing cost (paper's overload experiments); zero in production configs
@@ -728,6 +749,17 @@ func (g *Group) acceptDataLocked(m *dataMsg, charge bool) bool {
 		return false // corrupt or hostile frame: vectors longer than the view
 	}
 	m.senderIdx = si
+	if g.cfg.LeaseTicks > 0 {
+		// Current-view traffic renews the lease bookkeeping: the contact
+		// ticks feed the symmetric lease (and the sequencer's own quorum
+		// check), and a grant stamped by the view's leader renews the
+		// follower's sequencer lease.
+		g.lastHeardTick[si] = g.tickCount
+		if m.Lease > 0 && si == g.leaderPos {
+			g.leaseGrantTick = g.tickCount
+			g.leaseBound = m.Lease
+		}
+	}
 	if charge && g.cfg.ProcessingCost > 0 {
 		time.Sleep(g.cfg.ProcessingCost) //lint:ok lockblock simulated per-message processing cost (paper's overload experiments); zero in production configs
 	}
@@ -777,6 +809,12 @@ func (g *Group) postIngestLocked() {
 	if g.state == stateNormal && g.cfg.Order.Total() && g.needAckLocked() {
 		DebugCounters.AckNull.Add(1)
 		g.sendDataLocked(true, nil)
+	}
+	if g.frontierWaiters > 0 {
+		// The symmetric read-index barrier can clear on a heard-past
+		// advance alone (a causally-blocked null renews lastStamp without
+		// any delivery), so the ingest tail wakes waiters too.
+		g.cond.Broadcast()
 	}
 	g.updateActivityLocked()
 }
@@ -1173,7 +1211,13 @@ func (g *Group) deliverLocked(m *dataMsg) {
 		if !m.bornAt.IsZero() {
 			g.metrics.deliveryLatency.Observe(time.Since(m.bornAt)) //lint:ok detclock observability: latency histogram sample, no ordering decision
 		}
+		if g.lastDelivStamp.Less(d.Stamp) {
+			g.lastDelivStamp = d.Stamp
+		}
 		g.events.Push(Event{Type: EventDeliver, Deliver: d})
+	}
+	if g.frontierWaiters > 0 {
+		g.cond.Broadcast() // a ReadIndex barrier may have been reached
 	}
 	g.compactStableLocked()
 }
@@ -1201,6 +1245,12 @@ func (g *Group) activeLocked() bool {
 		return false
 	}
 	if g.cfg.Liveness == Lively {
+		return true
+	}
+	if g.cfg.LeaseTicks > 0 {
+		// Leases renew on the time-silence traffic: an idle event-driven
+		// group must keep heartbeating or every member's lease would
+		// expire between requests.
 		return true
 	}
 	if len(g.pending) > 0 || g.state == stateFlushing || g.fl != nil || g.attention > 0 {
@@ -1250,6 +1300,17 @@ func (g *Group) installViewLocked(v View) {
 	g.sweepStableMe = 0
 	g.maxAppStamp = vclock.Stamp{}
 	g.seqLeader = g.cfg.Order == OrderSequencer && g.leaderOf(g.view.Members) == g.me
+	// View changes revoke read leases: the grant state resets and the
+	// contact ticks reseed to now, so validity has to be re-earned from
+	// the new view's own traffic. tickCount and lastDelivStamp survive —
+	// the former is the clock itself, the latter is monotone across views.
+	g.leaderPos = g.midx.posOf(g.leaderOf(v.Members))
+	g.leaseGrantTick = 0
+	g.leaseBound = 0
+	g.lastHeardTick = make([]uint64, n)
+	for i := range g.lastHeardTick {
+		g.lastHeardTick[i] = g.tickCount
+	}
 	g.deliverQ.reset()
 	g.assignQ.reset()
 	// Any messages still queued for a batch flush belonged to the old

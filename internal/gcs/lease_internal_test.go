@@ -1,0 +1,64 @@
+package gcs
+
+import (
+	"testing"
+
+	"newtop/internal/ids"
+)
+
+// TestLeaseRevokedOnViewInstall pins the revocation invariant directly:
+// installing a view clears the accepted grant and reseeds every contact
+// tick, so no lease granted under the old view can validate a read in the
+// new one — whatever the timing of the next grant.
+func TestLeaseRevokedOnViewInstall(t *testing.T) {
+	cfg := quiescentConfig(OrderSequencer)
+	cfg.LeaseTicks = 10
+	n := NewNode(newNullEP("b/me"))
+	defer n.Close()
+	g, err := n.Create("lease", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Members sort "a/p1" < "a/p2" < "b/me": this member is a follower.
+	members := ids.SortProcesses([]ids.ProcessID{"b/me", "a/p1", "a/p2"})
+	g.mu.Lock()
+	g.installViewLocked(View{Seq: 2, Installer: "a/p1", Members: members})
+	g.mu.Unlock()
+	for i := 0; i < 2; i++ {
+		<-g.Events() // founding + forced view
+	}
+
+	g.mu.Lock()
+	// Simulate a fresh grant accepted from the sequencer in view 2.
+	g.tickCount = 100
+	for i := range g.lastHeardTick {
+		g.lastHeardTick[i] = 100
+	}
+	g.leaseGrantTick = 100
+	g.leaseBound = 10
+	if !g.leaseValidLocked() {
+		g.mu.Unlock()
+		t.Fatal("freshly granted lease should validate")
+	}
+
+	g.installViewLocked(View{Seq: 3, Installer: "a/p1", Members: members})
+	if g.leaseGrantTick != 0 || g.leaseBound != 0 {
+		g.mu.Unlock()
+		t.Fatalf("view install must revoke the grant: grantTick=%d bound=%d", g.leaseGrantTick, g.leaseBound)
+	}
+	if g.leaseValidLocked() {
+		g.mu.Unlock()
+		t.Fatal("old-view lease validated after view install")
+	}
+	// Contact ticks are reseeded to "now", not carried over: the new
+	// view's lease evidence starts from the install, so a stale contact
+	// history can neither validate nor spuriously expire the next grant.
+	for i, hb := range g.lastHeardTick {
+		if hb != g.tickCount {
+			g.mu.Unlock()
+			t.Fatalf("lastHeardTick[%d]=%d not reseeded to tickCount=%d", i, hb, g.tickCount)
+		}
+	}
+	g.mu.Unlock()
+	<-g.Events() // drain the second forced view
+}

@@ -1,0 +1,210 @@
+package gcs_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"newtop/internal/gcs"
+)
+
+// ctxT returns a context that expires with the test step.
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// leaseConfig is testConfig with read leases on and a suspicion timeout
+// far above the lease bound, so a partitioned member's lease expires well
+// before the membership protocol reacts — the window the lease exists to
+// make safe.
+func leaseConfig(order gcs.OrderMode) gcs.GroupConfig {
+	cfg := testConfig(order)
+	cfg.SuspectTimeout = 400 * time.Millisecond
+	cfg.FlushTimeout = 600 * time.Millisecond
+	cfg.LeaseTicks = 10 // 20ms at the 2ms tick
+	return cfg
+}
+
+// waitLease polls until the member's lease validity matches want and
+// returns the first matching snapshot.
+func waitLease(t *testing.T, g *gcs.Group, timeout time.Duration, want bool) gcs.LeaseStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := g.LeaseStatus()
+		if st.Valid == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: lease never became valid=%v (status %+v)", g.Me(), want, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLeaseGrantsReachEveryMember(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSequencer, gcs.OrderSymmetric} {
+		t.Run(order.String(), func(t *testing.T) {
+			h := newHarness(t, 3)
+			groups := h.buildGroup("lease", leaseConfig(order))
+			for _, g := range groups {
+				st := waitLease(t, g, 5*time.Second, true)
+				if st.BoundTicks != 10 {
+					t.Fatalf("%s: bound %d, want 10", g.Me(), st.BoundTicks)
+				}
+			}
+			// A leased read succeeds and reports age within the bound.
+			age, bound, err := groups[1].LeaseRead(0)
+			if err != nil {
+				t.Fatalf("LeaseRead: %v", err)
+			}
+			if age > bound {
+				t.Fatalf("lease age %d exceeds bound %d", age, bound)
+			}
+		})
+	}
+}
+
+// TestLeaseExpiresUnderPartition is the safety property the lease bound
+// advertises: a member cut off from its grantor refuses leased reads
+// within the bound — long before the membership protocol notices the
+// partition — so it can never serve reads staler than promised.
+func TestLeaseExpiresUnderPartition(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSequencer, gcs.OrderSymmetric} {
+		t.Run(order.String(), func(t *testing.T) {
+			h := newHarness(t, 3)
+			groups := h.buildGroup("lease", leaseConfig(order))
+			for _, g := range groups {
+				waitLease(t, g, 5*time.Second, true)
+			}
+			formed := groups[2].View().Seq
+
+			// Cut the last member (a follower under the sequencer order)
+			// off from the rest of the group.
+			h.net.Sim().SetPartition(h.nodes[2].ID(), 1)
+
+			st := waitLease(t, groups[2], 5*time.Second, false)
+			if st.ViewSeq != formed {
+				t.Fatalf("lease outlived its view: expired in view %d, granted in %d", st.ViewSeq, formed)
+			}
+			if _, _, err := groups[2].LeaseRead(0); !errors.Is(err, gcs.ErrLeaseExpired) {
+				t.Fatalf("LeaseRead on partitioned member: %v, want ErrLeaseExpired", err)
+			}
+			if order == gcs.OrderSequencer {
+				// The sequencer still hears a majority (itself and the
+				// other follower): the majority side keeps serving.
+				if !groups[0].LeaseStatus().Valid {
+					t.Fatal("sequencer lost its lease despite holding a quorum")
+				}
+			}
+		})
+	}
+}
+
+// TestSequencerLeaseNeedsQuorum: a sequencer partitioned into a minority
+// must stop granting — and stop serving its own leased reads — within the
+// bound, or a deposed sequencer could serve reads that miss writes
+// ordered by its successor.
+func TestSequencerLeaseNeedsQuorum(t *testing.T) {
+	h := newHarness(t, 3)
+	groups := h.buildGroup("lease", leaseConfig(gcs.OrderSequencer))
+	for _, g := range groups {
+		waitLease(t, g, 5*time.Second, true)
+	}
+	formed := groups[0].View().Seq
+
+	// Isolate the sequencer (lowest id — node 0).
+	h.net.Sim().SetPartition(h.nodes[0].ID(), 1)
+
+	st := waitLease(t, groups[0], 5*time.Second, false)
+	if st.ViewSeq != formed {
+		t.Fatalf("sequencer lease outlived its view (expired in view %d, granted in %d)", st.ViewSeq, formed)
+	}
+	if _, _, err := groups[0].LeaseRead(0); !errors.Is(err, gcs.ErrLeaseExpired) {
+		t.Fatalf("deposed sequencer LeaseRead: %v, want ErrLeaseExpired", err)
+	}
+	// The majority side re-forms around a new sequencer and leases return.
+	waitView(t, groups[1], 15*time.Second, func(v gcs.View) bool {
+		return len(v.Members) == 2 && !v.Contains(h.nodes[0].ID())
+	})
+	waitLease(t, groups[1], 5*time.Second, true)
+}
+
+// TestLeaseRegrantedAfterViewChange: a graceful membership change revokes
+// every outstanding lease (the new view may order differently) and the
+// survivors are re-granted under the new view.
+func TestLeaseRegrantedAfterViewChange(t *testing.T) {
+	h := newHarness(t, 3)
+	groups := h.buildGroup("lease", leaseConfig(gcs.OrderSequencer))
+	for _, g := range groups {
+		waitLease(t, g, 5*time.Second, true)
+	}
+	before := groups[1].LeaseStatus()
+
+	if err := groups[2].Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	waitView(t, groups[1], 15*time.Second, func(v gcs.View) bool {
+		return len(v.Members) == 2
+	})
+	// The lease the survivor ends up with belongs to the new view.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := groups[1].LeaseStatus()
+		if st.Valid && st.ViewSeq > before.ViewSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never re-granted in the new view (status %+v, was %+v)", st, before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReadIndexSees delivers a write and requires ReadIndex to return a
+// stamp at least as new, on both orders.
+func TestReadIndexCoversDeliveredWrites(t *testing.T) {
+	for _, order := range []gcs.OrderMode{gcs.OrderSequencer, gcs.OrderSymmetric} {
+		t.Run(order.String(), func(t *testing.T) {
+			h := newHarness(t, 3)
+			groups := h.buildGroup("lease", leaseConfig(order))
+			for _, g := range groups {
+				waitLease(t, g, 5*time.Second, true)
+			}
+			if err := groups[1].Multicast(ctxT(t, 5*time.Second), []byte("w")); err != nil {
+				t.Fatalf("multicast: %v", err)
+			}
+			// The read-index member: the sequencer under sequencer order,
+			// anyone under the symmetric order.
+			ri := groups[0]
+			if order == gcs.OrderSymmetric {
+				ri = groups[2]
+			}
+			d := collect(t, ri, 1, 5*time.Second)[0]
+			frontier, err := ri.ReadIndex(ctxT(t, 5*time.Second))
+			if err != nil {
+				t.Fatalf("ReadIndex: %v", err)
+			}
+			if frontier.Less(d.Stamp) {
+				t.Fatalf("frontier %v older than delivered write %v", frontier, d.Stamp)
+			}
+		})
+	}
+}
+
+// TestReadIndexRejectsNonSequencer: under the sequencer order only the
+// ordering authority can serve the linearizable barrier.
+func TestReadIndexRejectsNonSequencer(t *testing.T) {
+	h := newHarness(t, 2)
+	groups := h.buildGroup("lease", leaseConfig(gcs.OrderSequencer))
+	for _, g := range groups {
+		waitLease(t, g, 5*time.Second, true)
+	}
+	if _, err := groups[1].ReadIndex(ctxT(t, 2*time.Second)); !errors.Is(err, gcs.ErrNotSequencer) {
+		t.Fatalf("follower ReadIndex: %v, want ErrNotSequencer", err)
+	}
+}

@@ -56,6 +56,12 @@ type dataMsg struct {
 	// only the sequencer populates it. Processed at ingestion, which is
 	// what prevents order/data delivery deadlocks.
 	Assigns []assign
+	// Lease, when non-zero, is a read-lease grant piggybacked by the
+	// sequencer: the receiver may serve leased local reads for Lease
+	// ticks of its own timer after accepting this message (lease.go).
+	// Only the view's leader stamps it, and only while it can itself
+	// hear a majority of the view.
+	Lease uint64
 
 	// counts is the inline backing array for VC and Acks: views of up to
 	// maxInlineMembers members need no separate allocation for either
@@ -319,6 +325,7 @@ func putData(w *wire.Writer, m *dataMsg) {
 	w.Blob(m.Payload)
 	putCounts(w, m.Acks)
 	putAssigns(w, m.Assigns)
+	w.Uvarint(m.Lease)
 }
 
 func (d *decoder) getData(r *wire.Reader) *dataMsg {
@@ -340,6 +347,7 @@ func (d *decoder) getData(r *wire.Reader) *dataMsg {
 	m.Payload = r.BlobRef()
 	m.Acks = getCounts(r, m.counts[maxInlineMembers:maxInlineMembers:2*maxInlineMembers])
 	m.Assigns = d.getAssigns(r)
+	m.Lease = r.Uvarint()
 	return m
 }
 

@@ -15,13 +15,21 @@ type gcsMetrics struct {
 	resent             *obs.Counter
 	// batchesSent / batchedMsgs mirror Stats.BatchesSent/BatchedMsgs;
 	// batchSizeHigh is the largest envelope flushed so far.
-	batchesSent   *obs.Counter
-	batchedMsgs   *obs.Counter
-	batchSizeHigh *obs.Gauge
-	bytesSent          *obs.Counter
-	bytesRecv          *obs.Counter
-	viewsInstalled     *obs.Counter
-	cutDelivered       *obs.Counter
+	batchesSent    *obs.Counter
+	batchedMsgs    *obs.Counter
+	batchSizeHigh  *obs.Gauge
+	bytesSent      *obs.Counter
+	bytesRecv      *obs.Counter
+	viewsInstalled *obs.Counter
+	cutDelivered   *obs.Counter
+
+	// Read-lease machinery (lease.go): validity edges observed by the
+	// tick loop, reads served from the local delivered prefix, and reads
+	// refused because no valid lease covered them.
+	leaseGrants   *obs.Counter
+	leaseExpiries *obs.Counter
+	localReads    *obs.Counter
+	leaseRejects  *obs.Counter
 
 	// deliveryLatency: own application multicast → local total-order
 	// delivery (the protocol's ordering cost, measured without clock
@@ -48,6 +56,10 @@ func newGCSMetrics(o *obs.Obs) *gcsMetrics {
 		bytesRecv:       o.Reg.Counter("gcs_bytes_recv"),
 		viewsInstalled:  o.Reg.Counter("gcs_views_installed"),
 		cutDelivered:    o.Reg.Counter("gcs_cut_delivered"),
+		leaseGrants:     o.Reg.Counter("gcs_lease_grants"),
+		leaseExpiries:   o.Reg.Counter("gcs_lease_expiries"),
+		localReads:      o.Reg.Counter("gcs_local_reads"),
+		leaseRejects:    o.Reg.Counter("gcs_lease_rejects"),
 		deliveryLatency: o.Reg.Histogram("gcs_delivery_latency"),
 		viewChange:      o.Reg.Histogram("gcs_view_change"),
 		pendingHigh:     o.Reg.Gauge("gcs_pending_highwater"),

@@ -38,6 +38,10 @@ func (g *Group) tickLoop() {
 func (g *Group) tick() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	// The tick count is the group's deterministic clock: every read-lease
+	// expiry decision is a comparison of tick counts (see lease.go), so it
+	// advances unconditionally, before any early return.
+	g.tickCount++
 	if g.state == stateLeft || g.state == stateJoining {
 		return
 	}
@@ -125,6 +129,24 @@ func (g *Group) tick() {
 	}
 
 	g.maybeStartFlushLocked()
+
+	// Read-lease transitions: journal the edges (valid↔expired) so the
+	// flight recorder shows exactly when a member gained or lost the
+	// authority to serve local reads. The decision itself is pure tick
+	// arithmetic; nothing here touches the wall clock.
+	if g.cfg.LeaseTicks > 0 {
+		valid := g.leaseValidLocked()
+		if valid != g.leaseWasValid {
+			if valid {
+				g.metrics.leaseGrants.Inc()
+				g.frRecord(flight.EvLeaseGrant, g.midx.me, 0, g.leaseAgeLocked(), uint64(g.cfg.LeaseTicks))
+			} else {
+				g.metrics.leaseExpiries.Inc()
+				g.frRecord(flight.EvLeaseExpire, g.midx.me, 0, g.leaseAgeLocked(), uint64(g.cfg.LeaseTicks))
+			}
+			g.leaseWasValid = valid
+		}
+	}
 }
 
 // ackProgress tracks, per peer, the last acknowledgement level observed

@@ -13,7 +13,7 @@ import (
 // ranging over a channel, time.Sleep, sync.Cond/WaitGroup waits, network
 // I/O (transport.Endpoint.Send, package net), the blocking gcs entry
 // points (Group.Multicast/Leave, Node.Join/Close) and the blocking core
-// invocation surface (Binding/Proxy/G2G Call/Invoke/InvokeCall wait for
+// invocation surface (Binding/Proxy/G2G Call/Read/Invoke/InvokeCall wait for
 // replies, InvokeAsync blocks on a full call window, Call.Await parks
 // until the future completes). Every gcs event-loop method runs under the
 // group mutex; a blocking call there stalls the whole protocol state
@@ -448,6 +448,8 @@ func blockingCallee(fn *types.Func) string {
 			switch fn.Name() {
 			case "Call", "Invoke", "InvokeCall":
 				return "core." + n + "." + fn.Name() + " (blocks until replies arrive)"
+			case "Read":
+				return "core." + n + ".Read (blocks until a replica answers)"
 			case "InvokeAsync":
 				// The async launch still blocks when the outstanding-call
 				// window is full (backpressure by design).

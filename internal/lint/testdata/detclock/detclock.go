@@ -35,3 +35,17 @@ func (p *proto) expired(at time.Time) bool {
 func (p *proto) heard(from string) {
 	p.lastHeard[from] = time.Now() //lint:ok detclock failure-detector liveness bookkeeping
 }
+
+// A read lease validated against the wall clock is the canonical mistake
+// the rule exists for: lease expiry must compare tick counts of the
+// group's own timer (gcs.Group.tickCount), never sampled time — a
+// wall-clock lease drifts against the grantor's and breaks deterministic
+// replay of the expiry decision.
+type lease struct {
+	grantedAt time.Time
+	bound     time.Duration
+}
+
+func (l *lease) valid() bool {
+	return time.Since(l.grantedAt) <= l.bound // want detclock "time.Since"
+}

@@ -202,7 +202,7 @@ func TestEndToEndBootstrap(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	replies, err := p.Invoke(ctx, "echo", []byte("bootstrap"), core.All)
+	replies, err := p.Call(ctx, "echo", []byte("bootstrap"), core.WithMode(core.All))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -100,33 +100,52 @@ const (
 	EvCallStart
 	// EvCallDone: an invocation completed. MsgSeq=trace ID, A=1 on error.
 	EvCallDone
+	// EvLeaseGrant: the member's read lease became valid. A=lease age in
+	// ticks at the transition, B=configured bound in ticks.
+	EvLeaseGrant
+	// EvLeaseExpire: the member's read lease became invalid (grantor
+	// silent past the bound, or a flush in progress). A/B as EvLeaseGrant.
+	EvLeaseExpire
+	// EvLocalRead: a leased read served from the local delivered prefix.
+	// A=lease age in ticks, B=effective staleness bound in ticks; recorded
+	// only for reads actually served, so A<=B is the journal invariant
+	// that the staleness bound held.
+	EvLocalRead
+	// EvFrontierWait: a linearizable read-index barrier began. Sequencer:
+	// A=target global sequence, B=delivered global at arrival. Symmetric:
+	// MsgSeq=marker sequence, A=marker Lamport time.
+	EvFrontierWait
 
 	evMax // sentinel, keep last
 )
 
 var typeNames = [evMax]string{
-	EvNone:        "none",
-	EvMulticast:   "multicast",
-	EvBatchFlush:  "batch-flush",
-	EvIngest:      "ingest",
-	EvStash:       "stash",
-	EvDupDrop:     "dup-drop",
-	EvStaleDrop:   "stale-drop",
-	EvAssign:      "assign",
-	EvDeliver:     "deliver",
-	EvCutDeliver:  "cut-deliver",
-	EvStable:      "stable",
-	EvResend:      "resend",
+	EvNone:         "none",
+	EvMulticast:    "multicast",
+	EvBatchFlush:   "batch-flush",
+	EvIngest:       "ingest",
+	EvStash:        "stash",
+	EvDupDrop:      "dup-drop",
+	EvStaleDrop:    "stale-drop",
+	EvAssign:       "assign",
+	EvDeliver:      "deliver",
+	EvCutDeliver:   "cut-deliver",
+	EvStable:       "stable",
+	EvResend:       "resend",
 	EvFlushPropose: "flush-propose",
-	EvFlushAck:    "flush-ack",
-	EvFlushCommit: "flush-commit",
-	EvViewInstall: "view-install",
-	EvTCPFlush:    "tcp-flush",
-	EvTCPDropFull: "tcp-drop-full",
-	EvTCPDropConn: "tcp-drop-conn",
-	EvTCPConnect:  "tcp-connect",
-	EvCallStart:   "call-start",
-	EvCallDone:    "call-done",
+	EvFlushAck:     "flush-ack",
+	EvFlushCommit:  "flush-commit",
+	EvViewInstall:  "view-install",
+	EvTCPFlush:     "tcp-flush",
+	EvTCPDropFull:  "tcp-drop-full",
+	EvTCPDropConn:  "tcp-drop-conn",
+	EvTCPConnect:   "tcp-connect",
+	EvCallStart:    "call-start",
+	EvCallDone:     "call-done",
+	EvLeaseGrant:   "lease-grant",
+	EvLeaseExpire:  "lease-expire",
+	EvLocalRead:    "local-read",
+	EvFrontierWait: "frontier-wait",
 }
 
 // String returns the event type's journal name.

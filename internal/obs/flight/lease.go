@@ -1,0 +1,58 @@
+package flight
+
+import "fmt"
+
+// LeaseReport summarises the read-lease activity of one journal window.
+type LeaseReport struct {
+	Grants, Expiries int
+	LocalReads       int
+	FrontierWaits    int
+	// MaxAge/Bound are the worst served-read staleness seen and the bound
+	// it was checked against (ticks).
+	MaxAgeTicks, BoundTicks uint64
+}
+
+// CheckLeases verifies the read-path staleness invariant over a journal
+// window: every EvLocalRead (recorded only for reads actually served from
+// a local delivered prefix) must carry age <= bound — a served read whose
+// lease age exceeded its effective staleness bound is a protocol bug, not
+// a performance artifact. Returns one diagnostic line per violation.
+func CheckLeases(events []Event) []string {
+	var probs []string
+	for _, e := range events {
+		if e.Type != EvLocalRead {
+			continue
+		}
+		if e.A > e.B {
+			probs = append(probs, fmt.Sprintf(
+				"local read served past its staleness bound: proc=%d group=%d view=%d age=%d ticks bound=%d ticks",
+				e.Proc, e.Group, e.View, e.A, e.B))
+		}
+	}
+	return probs
+}
+
+// LeaseSummary tallies the read-lease events of a journal window for
+// reporting alongside the invariant check.
+func LeaseSummary(events []Event) LeaseReport {
+	var r LeaseReport
+	for _, e := range events {
+		switch e.Type {
+		case EvLeaseGrant:
+			r.Grants++
+		case EvLeaseExpire:
+			r.Expiries++
+		case EvLocalRead:
+			r.LocalReads++
+			if e.A > r.MaxAgeTicks {
+				r.MaxAgeTicks = e.A
+			}
+			if e.B > r.BoundTicks {
+				r.BoundTicks = e.B
+			}
+		case EvFrontierWait:
+			r.FrontierWaits++
+		}
+	}
+	return r
+}

@@ -132,20 +132,37 @@ func Dial(ctx context.Context, svc *core.Service, cfg Config) (*Client, error) {
 // Apply executes a write on every replica (acknowledged by a majority)
 // and returns the machine's result.
 func (c *Client) Apply(ctx context.Context, cmd []byte) ([]byte, error) {
-	replies, err := c.proxy.Invoke(ctx, methodApply, cmd, core.Majority)
+	replies, err := c.proxy.Call(ctx, methodApply, cmd, core.WithMode(core.Majority))
 	if err != nil {
 		return nil, err
 	}
 	return firstResult(replies)
 }
 
-// Query executes a read-only command on one replica.
+// Query executes a read-only command on one replica, through the read
+// path when the group has one: a leased read served from the replica's
+// executed prefix (session-consistent with this client's writes), falling
+// back to an ordered wait-for-first invocation when the server group was
+// configured without leases.
 func (c *Client) Query(ctx context.Context, q []byte) ([]byte, error) {
-	replies, err := c.proxy.Invoke(ctx, methodQuery, q, core.First)
+	payload, err := c.proxy.Read(ctx, methodQuery, q)
+	if err == nil {
+		return payload, nil
+	}
+	if !errors.Is(err, core.ErrReadDisabled) {
+		return nil, err
+	}
+	replies, err := c.proxy.Call(ctx, methodQuery, q, core.WithMode(core.First))
 	if err != nil {
 		return nil, err
 	}
 	return firstResult(replies)
+}
+
+// QueryAt executes a read-only command at an explicit consistency
+// (core.Linearizable, core.Leased or core.Stale).
+func (c *Client) QueryAt(ctx context.Context, q []byte, cons core.Consistency) ([]byte, error) {
+	return c.proxy.Read(ctx, methodQuery, q, core.WithConsistency(cons))
 }
 
 // Close releases the client's binding.
