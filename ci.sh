@@ -87,4 +87,11 @@ go run ./cmd/newtop-bench -experiment hotpath -quick -journal-check
 echo "== read path smoke =="
 go run ./cmd/newtop-bench -experiment readpath -quick
 
+# Smoke the sharded fabric: 1 vs 4 shard groups on loopback TCP must
+# clear the 2.5x aggregate-throughput floor, with the per-shard
+# delivery-order journal check on in-run (both enforced inside the
+# experiment).
+echo "== shards smoke =="
+go run ./cmd/newtop-bench -experiment shards -quick
+
 echo "ci: all checks passed"

@@ -57,6 +57,8 @@ func run(args []string) error {
 		memProf    = fs.String("memprofile", "", "write an allocation profile of the selected experiments to this file (sets MemProfileRate=1: every allocation is recorded)")
 		jcheck     = fs.Bool("journal-check", false, "run the flight-recorder stall detector and delivery-order verifier over each journal-instrumented run; fail on findings")
 		readPct    = fs.Int("readpct", 0, "read share (percent) of the readpath experiment's mixed workload (default 95)")
+		shards     = fs.String("shards", "", "shards experiment sweep, comma separated shard counts (default 1,2,4,8; quick 1,4)")
+		ringSeed   = fs.Uint64("ring-seed", 0, "consistent-hash placement seed for the shards experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +112,14 @@ func run(args []string) error {
 	}
 	scale.JournalCheck = *jcheck
 	scale.ReadPct = *readPct
+	scale.RingSeed = *ringSeed
+	if *shards != "" {
+		counts, err := parseCounts(*shards)
+		if err != nil {
+			return fmt.Errorf("-shards: %w", err)
+		}
+		scale.ShardCounts = counts
+	}
 
 	var selected []bench.Experiment
 	if *experiment == "all" {
@@ -149,6 +159,19 @@ func run(args []string) error {
 		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscan(strings.TrimSpace(part), &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func writeJSON(name string, res *bench.Result) error {

@@ -18,6 +18,14 @@
 //
 //	newtop-node peer -id p1 -listen :7301 -group room
 //	newtop-node peer -id p2 -listen :7302 -group room -peers p1=127.0.0.1:7301 -contact p1
+//
+// Sharded fabric (-shards N makes serve host kv/s0..sN-1 as N independent
+// ordered groups backed by shard KV stores; invoke/read route by key over
+// a consistent-hash ring — all processes must agree on -shards/-ring-seed):
+//
+//	newtop-node serve  -id s1 -listen :7101 -group kv -shards 4
+//	newtop-node invoke -id c1 -listen :7201 -group kv -shards 4 \
+//	    -peers s1=127.0.0.1:7101 -contact s1 -method put -args user:7=ada
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"newtop/internal/ids"
 	"newtop/internal/obs"
 	"newtop/internal/obs/flight"
+	"newtop/internal/shard"
 	"newtop/internal/transport/tcpnet"
 )
 
@@ -51,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: newtop-node serve|invoke|peer [flags]")
+		return fmt.Errorf("usage: newtop-node serve|invoke|read|peer [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -75,6 +84,9 @@ func run(args []string) error {
 		statsEv = fs.Duration("stats", 10*time.Second, "interval between stats lines (serve; 0 disables)")
 		journal = fs.Int("journal", 0, "flight-recorder capacity in events (0 keeps the default 4096-event ring); inspect via /journal on the metrics address")
 		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics address (serve)")
+
+		shards   = fs.Int("shards", 0, "shard the fabric: serve hosts <group>/s0..N-1 as N independent ordered groups; invoke/read route by key over a consistent-hash ring (0 = unsharded)")
+		ringSeed = fs.Uint64("ring-seed", 0, "consistent-hash placement seed; every router and migration driver of one fabric must agree on it")
 
 		advertise  = fs.String("advertise", "", "address peers should dial back (required when -listen binds a wildcard behind NAT/containers)")
 		sendQueue  = fs.Int("send-queue", 0, "per-peer send queue depth in frames (0 = transport default)")
@@ -120,11 +132,11 @@ func run(args []string) error {
 
 	switch cmd {
 	case "serve":
-		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *metrics, *statsEv, *pprofOn)
+		return serveCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *metrics, *statsEv, *pprofOn, *shards)
 	case "invoke":
-		return invokeCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *style, *method, *cargs, *mode)
+		return invokeCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *style, *method, *cargs, *mode, *shards, *ringSeed)
 	case "read":
-		return readCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *method, *cargs, *cons)
+		return readCmd(ctx, ep, *group, ids.ProcessID(*contact), gcfg, *method, *cargs, *cons, *shards, *ringSeed)
 	case "peer":
 		return peerCmd(ep, *group, ids.ProcessID(*contact), gcfg)
 	default:
@@ -156,37 +168,74 @@ func parseMode(s string) core.ReplyMode {
 	}
 }
 
-// serveCmd hosts one replica of a simple echo/uppercase service.
-func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, metricsAddr string, statsEvery time.Duration, pprofOn bool) error {
+// shardGroups names the N groups of a sharded fabric: <group>/s0..sN-1.
+// Serve, invoke and read all derive the same names from -group and
+// -shards, so pointing them at the same flags composes a fabric.
+func shardGroups(group string, shards int) []string {
+	names := make([]string, shards)
+	for k := range names {
+		names[k] = fmt.Sprintf("%s/s%d", group, k)
+	}
+	return names
+}
+
+// serveCmd hosts one replica of a simple echo/uppercase service, or — with
+// -shards N — one replica of each of the fabric's N shard groups, each
+// backed by a shard.Store (put/get/del/len plus the migration protocol).
+func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, metricsAddr string, statsEvery time.Duration, pprofOn bool, shards int) error {
 	svc := core.NewService(ep)
 	defer svc.Close()
 	me := svc.ID()
-	srv, err := svc.Serve(ctx, core.ServeConfig{
-		Group:   ids.GroupID(group),
-		Contact: contact,
-		Handler: func(method string, args []byte) ([]byte, error) {
-			switch method {
-			case "echo":
-				return args, nil
-			case "upper":
-				return []byte(strings.ToUpper(string(args))), nil
-			case "whoami":
-				return []byte(me), nil
-			default:
-				return nil, fmt.Errorf("unknown method %q", method)
+
+	var servers []*core.Server
+	if shards > 0 {
+		for _, name := range shardGroups(group, shards) {
+			st := shard.NewStore(name)
+			srv, err := svc.Serve(ctx, core.ServeConfig{
+				Group:    ids.GroupID(name),
+				Contact:  contact,
+				Handler:  st.Handle,
+				Snapshot: st.Snapshot,
+				Restore:  st.Restore,
+				GCS:      gcfg,
+			})
+			if err != nil {
+				return fmt.Errorf("shard group %q: %w", name, err)
 			}
-		},
-		GCS: gcfg,
-	})
-	if err != nil {
-		return err
+			servers = append(servers, srv)
+		}
+		fmt.Printf("serving %d shard groups %q/s0..s%d; view %v\n", shards, group, shards-1, servers[0].GroupView())
+	} else {
+		srv, err := svc.Serve(ctx, core.ServeConfig{
+			Group:   ids.GroupID(group),
+			Contact: contact,
+			Handler: func(method string, args []byte) ([]byte, error) {
+				switch method {
+				case "echo":
+					return args, nil
+				case "upper":
+					return []byte(strings.ToUpper(string(args))), nil
+				case "whoami":
+					return []byte(me), nil
+				default:
+					return nil, fmt.Errorf("unknown method %q", method)
+				}
+			},
+			GCS: gcfg,
+		})
+		if err != nil {
+			return err
+		}
+		servers = append(servers, srv)
+		fmt.Printf("serving group %q; view %v\n", group, srv.GroupView())
 	}
-	fmt.Printf("serving group %q; view %v\n", group, srv.GroupView())
 
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
 		if err != nil {
-			_ = srv.Close()
+			for _, srv := range servers {
+				_ = srv.Close()
+			}
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
@@ -216,7 +265,13 @@ func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact id
 				case <-stop:
 					return
 				case <-t.C:
-					fmt.Printf("stats: %s\n", srv.Stats())
+					// With -shards this is the cross-shard aggregate: the
+					// field-wise sum of every hosted group's counters.
+					var agg gcs.Stats
+					for _, srv := range servers {
+						agg = agg.Plus(srv.Stats())
+					}
+					fmt.Printf("stats: %s\n", agg)
 				}
 			}
 		}()
@@ -226,31 +281,71 @@ func serveCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact id
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("leaving group")
-	return srv.Close()
+	var firstErr error
+	for _, srv := range servers {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
-// invokeCmd binds and performs one invocation.
-func invokeCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, style, method, args, mode string) error {
+// shardedConfig assembles the router config for a -shards fabric: every
+// shard group is reached through the same -contact process (which serves
+// all N groups when started with the same -shards value).
+func shardedConfig(group string, shards int, ringSeed uint64, contact ids.ProcessID, bc core.BindConfig) core.ShardConfig {
+	cfg := core.ShardConfig{RingSeed: ringSeed, Bind: bc}
+	for _, name := range shardGroups(group, shards) {
+		cfg.Shards = append(cfg.Shards, core.ShardSpec{
+			Name:    name,
+			Group:   ids.GroupID(name),
+			Contact: contact,
+		})
+	}
+	return cfg
+}
+
+// invokeCmd binds and performs one invocation. With -shards N it binds the
+// whole fabric and routes the call by key ("put k=v" / "get k" route on
+// k), printing which shard the ring resolved.
+func invokeCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, style, method, args, mode string, shards int, ringSeed uint64) error {
 	svc := core.NewService(ep)
 	defer svc.Close()
 	bc := core.BindConfig{
-		ServerGroup: ids.GroupID(group),
-		Contact:     contact,
-		Style:       core.Open,
-		GCS:         gcfg,
+		Contact: contact,
+		Style:   core.Open,
+		GCS:     gcfg,
 	}
 	if style == "closed" {
 		bc.Style = core.Closed
 	}
-	b, err := svc.Bind(ctx, bc)
-	if err != nil {
-		return err
+
+	var inv core.Invoker
+	if shards > 0 {
+		sb, err := svc.BindSharded(ctx, shardedConfig(group, shards, ringSeed, contact, bc))
+		if err != nil {
+			return err
+		}
+		defer sb.Close()
+		key := args
+		if k, _, ok := strings.Cut(args, "="); ok {
+			key = k
+		}
+		fmt.Printf("bound %d shards (%s); key %q -> %s\n", shards, bc.Style, key, sb.Ring().Owner(key))
+		inv = sb
+	} else {
+		bc.ServerGroup = ids.GroupID(group)
+		b, err := svc.Bind(ctx, bc)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		fmt.Printf("bound (%s) via %s; servers %v\n", bc.Style, b.RequestManager(), b.Servers())
+		inv = b
 	}
-	defer b.Close()
-	fmt.Printf("bound (%s) via %s; servers %v\n", bc.Style, b.RequestManager(), b.Servers())
 
 	t0 := time.Now()
-	replies, err := b.Call(ctx, method, []byte(args), core.WithMode(parseMode(mode)))
+	replies, err := inv.Call(ctx, method, []byte(args), core.WithMode(parseMode(mode)))
 	if err != nil {
 		return err
 	}
@@ -268,15 +363,29 @@ func invokeCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact i
 // readCmd binds and performs one read through the lease-based read path
 // (DESIGN.md §14). The server group must be serving with -lease-ticks set
 // or the read is refused with ErrReadDisabled.
-func readCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, method, args, cons string) error {
+func readCmd(ctx context.Context, ep *tcpnet.Endpoint, group string, contact ids.ProcessID, gcfg gcs.GroupConfig, method, args, cons string, shards int, ringSeed uint64) error {
 	svc := core.NewService(ep)
 	defer svc.Close()
-	b, err := svc.Bind(ctx, core.BindConfig{
-		ServerGroup: ids.GroupID(group),
-		Contact:     contact,
-		Style:       core.Open,
-		GCS:         gcfg,
-	})
+	bc := core.BindConfig{Contact: contact, Style: core.Open, GCS: gcfg}
+
+	if shards > 0 {
+		sb, err := svc.BindSharded(ctx, shardedConfig(group, shards, ringSeed, contact, bc))
+		if err != nil {
+			return err
+		}
+		defer sb.Close()
+		fmt.Printf("bound %d shards (open); key %q -> %s\n", shards, args, sb.Ring().Owner(args))
+		t0 := time.Now()
+		payload, err := sb.Read(ctx, method, []byte(args), core.WithConsistency(parseConsistency(cons)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s read in %s: %q (sessions %v)\n", cons, time.Since(t0).Round(time.Microsecond), payload, sb.SessionStamps())
+		return nil
+	}
+
+	bc.ServerGroup = ids.GroupID(group)
+	b, err := svc.Bind(ctx, bc)
 	if err != nil {
 		return err
 	}

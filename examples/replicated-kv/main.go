@@ -1,10 +1,19 @@
-// Replicated key-value store: active replication through a closed group.
+// Replicated key-value store, grown into the sharded object-group fabric.
 //
-// The client joins a client/server group containing all three replicas
-// (the paper's closed-group configuration, fig. 3(i)) and multicasts
-// writes with wait-for-all. Mid-run one replica is crashed: the group
-// view changes, the failure is masked automatically — no rebinding — and
-// the surviving replicas keep returning identical, consistent state.
+// Act 1 — one closed group (the paper's fig. 3(i)): a client joins a
+// client/server group with three replicas, writes with wait-for-all, and
+// a mid-run crash is masked by the view change with no rebinding.
+//
+// Act 2 — scale-out: the same store sharded across 3 independent server
+// groups of 3 replicas each behind one consistent-hash router
+// (core.BindSharded). A 1200-key mixed read/write workload routes by key;
+// each shard totally orders only its own traffic, so throughput scales
+// with shards while per-key ordering and read-your-writes are preserved.
+//
+// Act 3 — elasticity: a fourth shard group is started and AddShard
+// migrates exactly the keys the grown ring reassigns (export → install →
+// drop, all as ordered invocations), then a replica of one shard is
+// crashed to show each shard group still masks failures independently.
 //
 //	go run ./examples/replicated-kv
 package main
@@ -21,11 +30,13 @@ import (
 	"newtop/internal/gcs"
 	"newtop/internal/ids"
 	"newtop/internal/netsim"
+	"newtop/internal/shard"
 	"newtop/internal/transport/memnet"
 )
 
-// kvStore is the replicated object: a map mutated strictly in delivery
-// order, so all replicas stay identical.
+// kvStore is the act-1 replicated object: a map mutated strictly in
+// delivery order, so all replicas stay identical. The sharded acts use
+// shard.Store, which adds the migration methods.
 type kvStore struct {
 	mu sync.Mutex
 	m  map[string]string
@@ -72,11 +83,20 @@ func main() {
 }
 
 func run() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-
 	net := memnet.New(netsim.New(netsim.FastProfile(), 1))
 
+	if err := closedGroupAct(ctx, net); err != nil {
+		return err
+	}
+	return shardedActs(ctx, net)
+}
+
+// closedGroupAct is the original demo: active replication through one
+// closed group, with a crash masked mid-run.
+func closedGroupAct(ctx context.Context, net *memnet.Net) error {
+	fmt.Println("=== act 1: one closed group, crash masked ===")
 	var contact ids.ProcessID
 	for i := 0; i < 3; i++ {
 		id := ids.ProcessID(fmt.Sprintf("replica-%d", i))
@@ -100,7 +120,7 @@ func run() error {
 		}
 	}
 
-	cep, err := net.Endpoint("z-client", netsim.SiteLAN)
+	cep, err := net.Endpoint("z-closed", netsim.SiteLAN)
 	if err != nil {
 		return err
 	}
@@ -117,78 +137,201 @@ func run() error {
 		return err
 	}
 	defer binding.Close()
-	fmt.Printf("closed binding formed with replicas %v\n\n", binding.Servers())
+	fmt.Printf("closed binding formed with replicas %v\n", binding.Servers())
 
-	put := func(k, v string, mode core.ReplyMode) error {
-		replies, err := binding.Call(ctx, "put", []byte(k+"="+v), core.WithMode(mode))
+	if _, err := binding.Call(ctx, "put", []byte("colour=teal"), core.WithMode(core.All)); err != nil {
+		return err
+	}
+	v, err := binding.Read(ctx, "get", []byte("colour"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("put colour=teal; leased read -> %q (session %v)\n", v, binding.SessionStamp())
+
+	victim := binding.Servers()[len(binding.Servers())-1]
+	fmt.Printf("*** crashing %s ***\n", victim)
+	net.Sim().Crash(victim)
+	if _, err := binding.Call(ctx, "put", []byte("after-crash=still-works"), core.WithMode(core.All)); err != nil {
+		return err
+	}
+	fmt.Printf("write after crash acknowledged; membership now %v\n\n", binding.Servers())
+	return nil
+}
+
+// startShard launches nReplicas fresh processes serving one shard group
+// and returns the group's contact.
+func startShard(ctx context.Context, net *memnet.Net, name string, nReplicas int, closers *[]*core.Service) (ids.ProcessID, error) {
+	var contact ids.ProcessID
+	short := strings.TrimPrefix(name, "kv/")
+	for r := 0; r < nReplicas; r++ {
+		id := ids.ProcessID(fmt.Sprintf("%s-r%d", short, r))
+		ep, err := net.Endpoint(id, netsim.SiteLAN)
+		if err != nil {
+			return "", err
+		}
+		svc := core.NewService(ep)
+		*closers = append(*closers, svc)
+		st := shard.NewStore(name)
+		if _, err := svc.Serve(ctx, core.ServeConfig{
+			Group:    ids.GroupID(name),
+			Contact:  contact,
+			Handler:  st.Handle,
+			Snapshot: st.Snapshot,
+			Restore:  st.Restore,
+			GCS:      timers(),
+		}); err != nil {
+			return "", err
+		}
+		if r == 0 {
+			contact = id
+		}
+	}
+	return contact, nil
+}
+
+// shardedActs runs the fabric: 3 shards x 3 replicas, a mixed workload,
+// then live expansion to 4 shards and an independent per-shard crash.
+func shardedActs(ctx context.Context, net *memnet.Net) error {
+	fmt.Println("=== act 2: sharded fabric, 3 shards x 3 replicas ===")
+	var closers []*core.Service
+	defer func() {
+		for _, c := range closers {
+			_ = c.Close()
+		}
+	}()
+
+	const ringSeed = 42
+	cfg := core.ShardConfig{
+		RingSeed: ringSeed,
+		Bind:     core.BindConfig{Style: core.Open, GCS: timers()},
+	}
+	for k := 0; k < 3; k++ {
+		name := fmt.Sprintf("kv/s%d", k)
+		contact, err := startShard(ctx, net, name, 3, &closers)
+		if err != nil {
+			return err
+		}
+		cfg.Shards = append(cfg.Shards, core.ShardSpec{Name: name, Group: ids.GroupID(name), Contact: contact})
+	}
+
+	cep, err := net.Endpoint("z-sharded", netsim.SiteLAN)
+	if err != nil {
+		return err
+	}
+	client := core.NewService(cep)
+	closers = append(closers, client)
+	router, err := client.BindSharded(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	fmt.Printf("router bound to shards %v\n", router.Shards())
+
+	// Mixed workload over a large keyspace: async write pipeline (each
+	// write routes to its key's owner and is totally ordered only against
+	// that shard's traffic) interleaved with leased reads.
+	const keys = 1200
+	t0 := time.Now()
+	pending := make([]*core.Call, 0, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("user:%04d", i)
+		c, err := router.InvokeAsync(ctx, "put", []byte(k+"=v"+fmt.Sprint(i)))
 		if err != nil {
 			return fmt.Errorf("put %s: %w", k, err)
 		}
-		fmt.Printf("put %s=%s acknowledged by %d replicas\n", k, v, len(replies))
-		return nil
+		pending = append(pending, c)
 	}
-	get := func(k string) error {
-		replies, err := binding.Call(ctx, "get", []byte(k), core.WithMode(core.All))
+	for _, c := range pending {
+		if _, err := c.Await(ctx); err != nil {
+			return err
+		}
+	}
+	wrote := time.Since(t0)
+
+	reads := 0
+	for i := 0; i < keys; i += 7 {
+		k := fmt.Sprintf("user:%04d", i)
+		v, err := router.Read(ctx, "get", []byte(k))
 		if err != nil {
-			return fmt.Errorf("get %s: %w", k, err)
+			return fmt.Errorf("read %s: %w", k, err)
 		}
-		vals := map[string]int{}
-		for _, r := range replies {
-			vals[string(r.Payload)]++
+		if string(v) != "v"+fmt.Sprint(i) {
+			return fmt.Errorf("read %s -> %q, want %q", k, v, "v"+fmt.Sprint(i))
 		}
-		if len(vals) != 1 {
-			return fmt.Errorf("REPLICA DIVERGENCE on %q: %v", k, vals)
-		}
-		fmt.Printf("get %s -> %q (identical at all %d replicas)\n", k, string(replies[0].Payload), len(replies))
-		return nil
+		reads++
 	}
+	fmt.Printf("%d writes in %s, %d leased reads verified (read-your-writes per shard)\n", keys, wrote.Round(time.Millisecond), reads)
 
-	if err := put("colour", "teal", core.All); err != nil {
-		return err
-	}
-	if err := put("shape", "torus", core.All); err != nil {
-		return err
-	}
-	if err := get("colour"); err != nil {
-		return err
-	}
-
-	// Read path: reads never enter the ordering layer. A leased read (the
-	// default) is one point-to-point call answered from a single replica's
-	// executed prefix; the binding's session token — the stamp of the last
-	// write it saw acknowledged — rides along as the read's floor, so a
-	// session always reads its own writes, whichever replica answers.
-	if err := put("origin", "9000", core.Majority); err != nil {
-		return err
-	}
-	v, err := binding.Read(ctx, "get", []byte("origin"))
+	counts, err := shardLens(ctx, router)
 	if err != nil {
-		return fmt.Errorf("leased get: %w", err)
+		return err
 	}
-	fmt.Printf("leased read origin -> %q (session stamp %v carried as the floor)\n",
-		v, binding.SessionStamp())
+	fmt.Printf("placement: %v\n\n", counts)
 
-	// A linearizable read reflects every write completed anywhere before
-	// it began: one stability-frontier handshake at the sequencer — still
-	// cheaper than an ordered multicast.
-	v, err = binding.Read(ctx, "get", []byte("shape"), core.WithConsistency(core.Linearizable))
+	fmt.Println("=== act 3: live expansion to 4 shards + per-shard crash ===")
+	newName := "kv/s3"
+	contact, err := startShard(ctx, net, newName, 3, &closers)
 	if err != nil {
-		return fmt.Errorf("linearizable get: %w", err)
+		return err
 	}
-	fmt.Printf("linearizable read shape -> %q (read-index handshake)\n\n", v)
+	t0 = time.Now()
+	if err := router.AddShard(ctx, core.ShardSpec{Name: newName, Group: ids.GroupID(newName), Contact: contact}); err != nil {
+		return err
+	}
+	after, err := shardLens(ctx, router)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, n := range after {
+		total += n
+	}
+	if total != keys {
+		return fmt.Errorf("keys lost in migration: %d != %d", total, keys)
+	}
+	fmt.Printf("AddShard migrated ~1/4 of the keyspace in %s; placement now %v\n", time.Since(t0).Round(time.Millisecond), after)
 
-	// Crash one replica abruptly: the closed group masks it.
-	victim := binding.Servers()[len(binding.Servers())-1]
-	fmt.Printf("\n*** crashing %s ***\n", victim)
+	for i := 0; i < keys; i += 101 { // spot-check values across the new ring
+		k := fmt.Sprintf("user:%04d", i)
+		v, err := router.Read(ctx, "get", []byte(k))
+		if err != nil || string(v) != "v"+fmt.Sprint(i) {
+			return fmt.Errorf("post-migration read %s -> %q, %v", k, v, err)
+		}
+	}
+	fmt.Println("post-migration spot reads all correct")
+
+	// Crash one replica of s1: only that group reconfigures; the fabric
+	// keeps serving and the shard itself masks the failure.
+	victimKey := "user:0000"
+	owner := router.Ring().Owner(victimKey)
+	victim := ids.ProcessID(strings.TrimPrefix(owner, "kv/") + "-r2")
+	fmt.Printf("*** crashing %s (a replica of %s) ***\n", victim, owner)
 	net.Sim().Crash(victim)
-
-	if err := put("after-crash", "still-works", core.All); err != nil {
+	if _, err := router.Call(ctx, "put", []byte(victimKey+"=rewritten"), core.WithMode(core.Majority)); err != nil {
 		return err
 	}
-	if err := get("after-crash"); err != nil {
-		return err
+	v, err := router.Read(ctx, "get", []byte(victimKey))
+	if err != nil || string(v) != "rewritten" {
+		return fmt.Errorf("post-crash read -> %q, %v", v, err)
 	}
-	fmt.Printf("\nsurviving membership: %v\n", binding.Servers())
-	fmt.Println("failure masked automatically — no rebinding (the closed-group property)")
+	fmt.Printf("write+read through %s succeeded with a replica down — failures stay shard-local\n", owner)
 	return nil
+}
+
+// shardLens asks every shard group for its key count.
+func shardLens(ctx context.Context, router *core.ShardedBinding) (map[string]int, error) {
+	replies, err := router.CallAll(ctx, "len", nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(replies))
+	for name, rs := range replies {
+		if len(rs) == 0 || rs[0].Err != nil {
+			return nil, fmt.Errorf("len %s: %v", name, rs)
+		}
+		n := 0
+		fmt.Sscan(string(rs[0].Payload), &n)
+		out[name] = n
+	}
+	return out, nil
 }

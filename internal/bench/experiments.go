@@ -27,6 +27,11 @@ type Scale struct {
 	// ReadPct is the read share (percent) of the readpath experiment's
 	// mixed workload; zero selects the default 95/5 read/write mix.
 	ReadPct int
+	// ShardCounts is the shards experiment's sweep (shard groups per
+	// point); empty selects 1/2/4/8.
+	ShardCounts []int
+	// RingSeed seeds the shards experiment's consistent-hash placement.
+	RingSeed uint64
 }
 
 // FullScale reproduces the paper's sweep sizes.
@@ -37,6 +42,7 @@ func FullScale() Scale {
 		ClientCounts: []int{1, 2, 4, 6, 8, 12, 16, 20},
 		PeerMessages: 120,
 		PeerMembers:  []int{2, 3, 4, 5, 6, 7, 8, 9},
+		ShardCounts:  []int{1, 2, 4, 8},
 	}
 }
 
@@ -48,6 +54,7 @@ func QuickScale() Scale {
 		ClientCounts: []int{1, 4, 8},
 		PeerMessages: 30,
 		PeerMembers:  []int{2, 4, 6},
+		ShardCounts:  []int{1, 4},
 	}
 }
 
@@ -127,6 +134,7 @@ func Experiments() []Experiment {
 		{ID: "hotpath", Title: "Hot path: indexed delivery queues + pooled codec, LAN peer group", Run: runHotpath},
 		{ID: "tcpnet", Title: "TCP transport: writer pipelines + frame coalescing, loopback peer group", Run: runTCPNet},
 		{ID: "readpath", Title: "Read path: leased local reads vs the all-ordered loop on a read-heavy mix", Run: runReadPath},
+		{ID: "shards", Title: "Shards: consistent-hash fabric scale-out, 1/2/4/8 groups on loopback TCP", Run: runShards},
 	}
 }
 

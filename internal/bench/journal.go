@@ -37,6 +37,15 @@ func beginJournal() *journalRun {
 // quick hotpath bench with check on and fails on findings). Gap checking
 // is strict only when the ring kept every event of the window.
 func (j *journalRun) finish(label string, check bool) (flight.Decomposition, error) {
+	return j.finishWith(label, check, flight.StallConfig{})
+}
+
+// finishWith is finish with an explicit stall-detector tuning: the shards
+// experiment runs at the evaluation time scale (40ms ticks, 2ms simulated
+// service cost, deep pipelines), where stability legitimately trails
+// ingest by around a window's worth of service time — the hotpath-scale
+// default MinAge would misread that queueing as a protocol stall.
+func (j *journalRun) finishWith(label string, check bool, stallCfg flight.StallConfig) (flight.Decomposition, error) {
 	events, dropped := j.rec.Since(j.start)
 	d := flight.Decompose(flight.Timelines(events))
 	if !check {
@@ -44,7 +53,7 @@ func (j *journalRun) finish(label string, check bool) (flight.Decomposition, err
 	}
 	m := j.rec.Meta()
 	var findings []string
-	for _, s := range flight.DetectStalls(events, m, flight.StallConfig{}) {
+	for _, s := range flight.DetectStalls(events, m, stallCfg) {
 		findings = append(findings, "stall: "+s.String())
 	}
 	for _, v := range flight.CheckOrder(events, m, dropped == 0) {

@@ -107,6 +107,11 @@ type callOpts struct {
 	maxStale    time.Duration
 	minStamp    vclock.Stamp
 	hasMin      bool
+
+	// Routing options (consumed by ShardedBinding; ignored by single-group
+	// invokers).
+	key    string
+	hasKey bool
 }
 
 // CallOption configures one invocation (see WithMode, WithCallID,
@@ -147,6 +152,14 @@ func WithConsistency(c Consistency) CallOption {
 // Linearizable and Stale reads.
 func WithMaxStaleness(d time.Duration) CallOption {
 	return func(o *callOpts) { o.maxStale = d }
+}
+
+// WithKey pins the routing key of one invocation on a sharded binding:
+// the call goes to the group owning key on the consistent-hash ring,
+// bypassing the binding's configured key extractor. Single-group invokers
+// (Binding, Proxy, G2G) ignore it.
+func WithKey(key string) CallOption {
+	return func(o *callOpts) { o.key = key; o.hasKey = true }
 }
 
 // WithMinStamp overrides the read's session floor: the serving replica

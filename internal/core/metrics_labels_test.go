@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"newtop/internal/core"
+	"newtop/internal/ids"
+	"newtop/internal/netsim"
+	"newtop/internal/obs"
+	"newtop/internal/transport/memnet"
+)
+
+// TestServerMetricsLabels: each server role emits core_server_* gauges
+// labeled with its group, and the service emits the group="_total"
+// cross-group sum — on a sharded node, the per-shard breakdown and the
+// fabric aggregate.
+func TestServerMetricsLabels(t *testing.T) {
+	net := memnet.New(netsim.New(netsim.FastProfile(), 23))
+	ep, err := net.Endpoint("s00", netsim.SiteLAN)
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	o := obs.New()
+	svc := core.NewServiceObs(ep, o)
+	defer svc.Close()
+
+	ctx := ctxT(t, 20*time.Second)
+	echo := func(method string, args []byte) ([]byte, error) { return args, nil }
+	for _, g := range []string{"kv/s0", "kv/s1"} {
+		if _, err := svc.Serve(ctx, core.ServeConfig{Group: ids.GroupID(g), Handler: echo, GCS: testTimers()}); err != nil {
+			t.Fatalf("serve %s: %v", g, err)
+		}
+	}
+
+	snap := o.Reg.Snapshot()
+	s0 := snap.Gauges[obs.Labeled("core_server_members", "group", "kv/s0")]
+	s1 := snap.Gauges[obs.Labeled("core_server_members", "group", "kv/s1")]
+	tot := snap.Gauges[obs.Labeled("core_server_members", "group", "_total")]
+	if s0 != 1 || s1 != 1 {
+		t.Fatalf("per-group members = %d, %d, want 1, 1\ngauges: %v", s0, s1, snap.Gauges)
+	}
+	if tot != s0+s1 {
+		t.Fatalf("aggregate members = %d, want %d", tot, s0+s1)
+	}
+
+	if st := svc.StatsTotal(); st.Members != 2 || st.ViewsInstalled < 2 {
+		t.Fatalf("StatsTotal = %+v, want Members 2 and >=2 views", st)
+	}
+}

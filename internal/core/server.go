@@ -134,20 +134,13 @@ func (s *Service) serve(ctx context.Context, cfg ServeConfig, replica bool) (*Se
 	s.mu.Unlock()
 
 	// Export this server's aggregated group-communication counters as
-	// gauges, computed lazily at snapshot time.
+	// labeled gauges (core_server_*{group="..."}), computed lazily at
+	// snapshot time. A sharded node serves one group per shard, so the
+	// per-group label is the per-shard breakdown; the service-level
+	// collector (NewServiceObs) emits the cross-shard group="_total" sum.
 	pfx := "core_server_" + obs.Sanitize(string(cfg.Group)) + "_"
 	s.obs.Reg.SetCollector(pfx, func(emit func(name string, v int64)) {
-		st := srv.Stats()
-		emit(pfx+"app_sent", int64(st.AppSent))
-		emit(pfx+"nulls_sent", int64(st.NullSent))
-		emit(pfx+"app_delivered", int64(st.AppDelivered))
-		emit(pfx+"resent", int64(st.Resent))
-		emit(pfx+"bytes_out", int64(st.BytesSent))
-		emit(pfx+"bytes_in", int64(st.BytesReceived))
-		emit(pfx+"views", int64(st.ViewsInstalled))
-		emit(pfx+"pending", int64(st.Pending))
-		emit(pfx+"store", int64(st.StoreSize))
-		emit(pfx+"members", int64(st.Members))
+		emitServerStats(emit, string(cfg.Group), srv.Stats())
 	})
 
 	ready := make(chan error, 1)
@@ -168,6 +161,22 @@ func (s *Service) serve(ctx context.Context, cfg ServeConfig, replica bool) (*Se
 		}
 	}
 	return srv, nil
+}
+
+// emitServerStats emits one group's stats as core_server_* gauges labeled
+// with the group name ("_total" for the service-wide aggregate).
+func emitServerStats(emit func(name string, v int64), group string, st gcs.Stats) {
+	l := func(base string) string { return obs.Labeled("core_server_"+base, "group", group) }
+	emit(l("app_sent"), int64(st.AppSent))
+	emit(l("nulls_sent"), int64(st.NullSent))
+	emit(l("app_delivered"), int64(st.AppDelivered))
+	emit(l("resent"), int64(st.Resent))
+	emit(l("bytes_out"), int64(st.BytesSent))
+	emit(l("bytes_in"), int64(st.BytesReceived))
+	emit(l("views"), int64(st.ViewsInstalled))
+	emit(l("pending"), int64(st.Pending))
+	emit(l("store"), int64(st.StoreSize))
+	emit(l("members"), int64(st.Members))
 }
 
 // ServerRoster returns the current server membership (excluding any

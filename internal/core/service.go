@@ -66,7 +66,36 @@ func NewServiceObs(ep transport.Endpoint, o *obs.Obs) *Service {
 		waiters: make(map[ids.CallID]*callWaiter),
 	}
 	s.orb.Register(controlObject, s.control)
+	// The cross-group aggregate: every server role this service hosts,
+	// summed field-wise and emitted as group="_total". On a sharded node
+	// (one server group per shard) this is the fabric-wide view next to
+	// the per-shard breakdown each role's own collector emits.
+	o.Reg.SetCollector(s.aggCollectorKey(), func(emit func(name string, v int64)) {
+		emitServerStats(emit, "_total", s.StatsTotal())
+	})
 	return s
+}
+
+// aggCollectorKey names the service's aggregate collector; keyed by
+// process ID because bench worlds share one registry across services.
+func (s *Service) aggCollectorKey() string {
+	return "core_service_total_" + obs.Sanitize(string(s.mux.ID())) + "_"
+}
+
+// StatsTotal aggregates the group-communication counters of every server
+// role this service currently hosts.
+func (s *Service) StatsTotal() gcs.Stats {
+	s.mu.Lock()
+	servers := make([]*Server, 0, len(s.servers))
+	for _, srv := range s.servers {
+		servers = append(servers, srv)
+	}
+	s.mu.Unlock()
+	var st gcs.Stats
+	for _, srv := range servers {
+		st = st.Plus(srv.Stats())
+	}
+	return st
 }
 
 // Obs returns the service's observability domain (registry + tracer).
@@ -103,6 +132,7 @@ func (s *Service) Close() error {
 	}
 	s.mu.Unlock()
 
+	s.obs.Reg.DropCollector(s.aggCollectorKey())
 	for _, srv := range servers {
 		_ = srv.Close()
 	}

@@ -32,6 +32,7 @@ func TestAllocCrossCheckStaticVsRuntime(t *testing.T) {
 		"newtop/internal/transport/tcpnet",
 		"newtop/internal/obs/flight",
 		"newtop/internal/core",
+		"newtop/internal/shard",
 	} {
 		p, err := ld.Load(path)
 		if err != nil {

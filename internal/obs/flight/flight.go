@@ -209,6 +209,18 @@ type viewKey struct {
 	View  uint32
 }
 
+// The name tables are append-only and snapshotted on every Meta call, so
+// they must stay bounded even on a node that churns through groups — a
+// sharded fabric creates a cs/ binding group per client per shard, and a
+// long-lived process would otherwise intern without limit (and silently
+// alias once past uint16). Past the cap, Proc/Group return 0: events
+// render as "-" but recording stays safe. Views are evicted FIFO — old
+// views are dead weight once their group moves on.
+const (
+	maxInterned = 4096
+	maxViews    = 8192
+)
+
 // DefaultCap is the journal capacity installed by obs.New — small enough
 // to be free (a few hundred KB), large enough to hold the recent past of
 // a lightly loaded node. Benches and -journal nodes install bigger rings.
@@ -223,12 +235,13 @@ type Recorder struct {
 
 	// Name tables, cold path. Index 0 of procs/groups is reserved for
 	// "unset" so a zero ID never aliases a real name.
-	mu       sync.Mutex
-	procs    []string
-	procIdx  map[string]uint16
-	groups   []string
-	groupIdx map[string]uint16
-	views    map[viewKey][]string
+	mu        sync.Mutex
+	procs     []string
+	procIdx   map[string]uint16
+	groups    []string
+	groupIdx  map[string]uint16
+	views     map[viewKey][]string
+	viewOrder []viewKey // insertion order, for FIFO eviction at maxViews
 }
 
 // New returns a recorder holding the last capacity events (rounded up to
@@ -350,6 +363,9 @@ func (r *Recorder) Proc(name string) uint16 {
 	if id, ok := r.procIdx[name]; ok {
 		return id
 	}
+	if len(r.procs) >= maxInterned {
+		return 0
+	}
 	id := uint16(len(r.procs))
 	r.procs = append(r.procs, name)
 	r.procIdx[name] = id
@@ -366,6 +382,9 @@ func (r *Recorder) Group(name string) uint16 {
 	if id, ok := r.groupIdx[name]; ok {
 		return id
 	}
+	if len(r.groups) >= maxInterned {
+		return 0
+	}
 	id := uint16(len(r.groups))
 	r.groups = append(r.groups, name)
 	r.groupIdx[name] = id
@@ -380,7 +399,15 @@ func (r *Recorder) SetView(group uint16, view uint32, members []string) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.views[viewKey{group, view}] = append([]string(nil), members...)
+	k := viewKey{group, view}
+	if _, exists := r.views[k]; !exists {
+		for len(r.viewOrder) >= maxViews {
+			delete(r.views, r.viewOrder[0])
+			r.viewOrder = r.viewOrder[1:]
+		}
+		r.viewOrder = append(r.viewOrder, k)
+	}
+	r.views[k] = append([]string(nil), members...)
 }
 
 // Meta is a point-in-time copy of the recorder's name tables.
@@ -420,6 +447,35 @@ func (m *Meta) GroupName(id uint16) string {
 		return m.groups[id]
 	}
 	return "-"
+}
+
+// GroupID resolves an interned group name back to its ID. It reports
+// false for names never interned — including names lost to the intern
+// cap, which all collapse to ID 0.
+func (m *Meta) GroupID(name string) (uint16, bool) {
+	if m == nil {
+		return 0, false
+	}
+	for id := 1; id < len(m.groups); id++ {
+		if m.groups[id] == name {
+			return uint16(id), true
+		}
+	}
+	return 0, false
+}
+
+// FilterGroup returns the events scoped to one group. Events that are not
+// group-scoped (transport flushes, peer connects — Group 0) are dropped:
+// a group filter asks "what happened to THIS group", and unattributed
+// events cannot answer that.
+func FilterGroup(events []Event, group uint16) []Event {
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Group == group {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Members returns the member names of one view, or nil.

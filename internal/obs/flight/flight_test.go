@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -352,5 +353,86 @@ func TestRecordConcurrent(t *testing.T) {
 	}
 	if got := r.Cursor(); got != 2000 {
 		t.Fatalf("cursor = %d, want 2000", got)
+	}
+}
+
+// TestInternCaps: the name tables must stay bounded — a sharded fabric
+// interns a cs/ group per client per shard, so a long-lived node would
+// otherwise grow (and re-snapshot on every Meta) without limit. Past the
+// cap new names collapse to ID 0 ("-") but old names keep resolving.
+func TestInternCaps(t *testing.T) {
+	r := New(8)
+	first := r.Group("g0")
+	for i := 1; i < maxInterned+100; i++ {
+		r.Group(fmt.Sprintf("g%d", i))
+	}
+	if id := r.Group("overflow"); id != 0 {
+		t.Fatalf("group intern past cap = %d, want 0", id)
+	}
+	if id := r.Group("g0"); id != first {
+		t.Fatalf("existing group re-intern = %d, want %d", id, first)
+	}
+	m := r.Meta()
+	if got := m.GroupName(first); got != "g0" {
+		t.Fatalf("GroupName(first) = %q, want g0", got)
+	}
+	if got := m.GroupName(0); got != "-" {
+		t.Fatalf("GroupName(0) = %q, want -", got)
+	}
+
+	for i := 0; i < maxInterned+100; i++ {
+		r.Proc(fmt.Sprintf("p%d", i))
+	}
+	if id := r.Proc("overflow"); id != 0 {
+		t.Fatalf("proc intern past cap = %d, want 0", id)
+	}
+}
+
+// TestViewEviction: the view table evicts FIFO at maxViews so name
+// resolution for live views survives while dead views are forgotten.
+func TestViewEviction(t *testing.T) {
+	r := New(8)
+	g := r.Group("grp")
+	for v := uint32(0); v < maxViews+10; v++ {
+		r.SetView(g, v, []string{"a", "b"})
+	}
+	m := r.Meta()
+	if m.Members(g, 0) != nil {
+		t.Fatalf("oldest view survived eviction")
+	}
+	if got := m.MemberName(g, maxViews+9, 1); got != "b" {
+		t.Fatalf("newest view member = %q, want b", got)
+	}
+	r.mu.Lock()
+	n := len(r.views)
+	r.mu.Unlock()
+	if n > maxViews {
+		t.Fatalf("views table holds %d entries, cap is %d", n, maxViews)
+	}
+}
+
+// TestGroupIDAndFilter: the /journal?group= path — reverse name lookup
+// plus event scoping, dropping group-unattributed transport events.
+func TestGroupIDAndFilter(t *testing.T) {
+	r := New(16)
+	p := r.Proc("n1")
+	ga := r.Group("kv/s0")
+	gb := r.Group("kv/s1")
+	r.Record(Event{Type: EvDeliver, Proc: p, Group: ga, MsgSeq: 1})
+	r.Record(Event{Type: EvDeliver, Proc: p, Group: gb, MsgSeq: 2})
+	r.Record(Event{Type: EvTCPFlush, Proc: p, Sender: NoSender, A: 3}) // no group
+	events, _ := r.Since(0)
+
+	m := r.Meta()
+	id, ok := m.GroupID("kv/s1")
+	if !ok || id != gb {
+		t.Fatalf("GroupID(kv/s1) = %d,%v want %d,true", id, ok, gb)
+	}
+	if _, ok := m.GroupID("nope"); ok {
+		t.Fatalf("GroupID(nope) resolved")
+	}
+	got := FilterGroup(events, gb)
+	if len(got) != 1 || got[0].MsgSeq != 2 {
+		t.Fatalf("FilterGroup = %+v, want the one kv/s1 event", got)
 	}
 }

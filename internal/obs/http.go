@@ -15,7 +15,10 @@ import (
 //	GET /metrics?format=prom  the same in Prometheus text exposition
 //	GET /traces?n=16          span trees of the n most recent traces
 //	GET /journal?since=<c>    flight-recorder events newer than cursor c
+//	GET /journal?group=<g>    only events scoped to group g (composable
+//	                          with since; on a sharded node, one shard)
 //	GET /journal/analyze      lifecycle decomposition + stall diagnoses
+//	                          (also accepts ?group=<g>)
 //
 // newtop-node mounts this behind its -metrics flag. Prometheus scrapers
 // are also recognized by Accept negotiation (an Accept header naming
@@ -51,6 +54,12 @@ func Handler(o *Obs) http.Handler {
 		events, dropped := o.Flight.Since(since)
 		m := o.Flight.Meta()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if g := r.URL.Query().Get("group"); g != "" {
+			var ok bool
+			if events, ok = filterGroup(w, events, m, g); !ok {
+				return
+			}
+		}
 		fmt.Fprintf(w, "journal cursor=%d events=%d dropped=%d cap=%d\n",
 			o.Flight.Cursor(), len(events), dropped, o.Flight.Cap())
 		flight.WriteText(w, events, m)
@@ -58,6 +67,12 @@ func Handler(o *Obs) http.Handler {
 	mux.HandleFunc("/journal/analyze", func(w http.ResponseWriter, r *http.Request) {
 		events, dropped := o.Flight.Since(0)
 		m := o.Flight.Meta()
+		if g := r.URL.Query().Get("group"); g != "" {
+			var ok bool
+			if events, ok = filterGroup(w, events, m, g); !ok {
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "analyzing %d journal events (%d lost to ring overwrite)\n\n", len(events), dropped)
 		d := flight.Decompose(flight.Timelines(events))
@@ -86,6 +101,18 @@ func Handler(o *Obs) http.Handler {
 		}
 	})
 	return mux
+}
+
+// filterGroup scopes journal events to one named group, answering 404
+// when the recorder has never interned that name. ok=false means the
+// response has already been written.
+func filterGroup(w http.ResponseWriter, events []flight.Event, m *flight.Meta, name string) ([]flight.Event, bool) {
+	id, ok := m.GroupID(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown group %q", name), http.StatusNotFound)
+		return nil, false
+	}
+	return flight.FilterGroup(events, id), true
 }
 
 // wantsProm reports whether the request asked for Prometheus exposition,

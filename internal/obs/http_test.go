@@ -136,3 +136,50 @@ func TestHandlerPromFormat(t *testing.T) {
 		t.Fatalf("default format changed:\n%s", plain)
 	}
 }
+
+// TestHandlerJournalGroupFilter: ?group= scopes /journal and
+// /journal/analyze to one group's events — on a sharded node, one shard's
+// view of the fabric. Unknown names answer 404 rather than an empty page.
+func TestHandlerJournalGroupFilter(t *testing.T) {
+	o := New()
+	p := o.Flight.Proc("n1")
+	ga := o.Flight.Group("kv/s0")
+	gb := o.Flight.Group("kv/s1")
+	o.Flight.SetView(ga, 1, []string{"n1"})
+	o.Flight.SetView(gb, 1, []string{"n1"})
+	o.Flight.Record(flight.Event{Type: flight.EvDeliver, Proc: p, Group: ga, Sender: 0, View: 1, MsgSeq: 10})
+	o.Flight.Record(flight.Event{Type: flight.EvDeliver, Proc: p, Group: gb, Sender: 0, View: 1, MsgSeq: 20})
+
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/journal?group=kv/s1")
+	if code != 200 {
+		t.Fatalf("filtered /journal status %d", code)
+	}
+	if !strings.Contains(body, "seq=20") || strings.Contains(body, "seq=10") {
+		t.Fatalf("filtered /journal body wrong:\n%s", body)
+	}
+	if !strings.Contains(body, "events=1") {
+		t.Fatalf("filtered /journal count wrong:\n%s", body)
+	}
+
+	code, _ = get("/journal?group=unknown")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown group status %d, want 404", code)
+	}
+
+	code, body = get("/journal/analyze?group=kv/s0")
+	if code != 200 || !strings.Contains(body, "analyzing 1 journal events") {
+		t.Fatalf("filtered analyze: status %d body:\n%s", code, body)
+	}
+}

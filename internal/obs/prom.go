@@ -4,8 +4,66 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
+
+// Labeled builds one labeled series name: Labeled("x", "group", "kv/s0")
+// is `x{group="kv/s0"}`. The registry treats the result as an opaque
+// instrument name — same string, same instrument — while the renderers
+// split it back apart: WriteProm groups labeled variants of a base under
+// one TYPE line and WriteText places histogram suffixes before the label
+// set. kv lists label pairs; values are escaped per the text exposition
+// format, names are sanitized.
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(Sanitize(kv[i]))
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value for the prom text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// splitLabeled splits a Labeled name into base and `{...}` suffix (which
+// is empty for plain names).
+func splitLabeled(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// sortFamilies sorts full instrument names by (base, labels) so every
+// labeled variant of a base is contiguous — a plain byte sort would split
+// the family apart ('_' < '{' puts x_total between x and x{...}).
+func sortFamilies(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		bi, li := splitLabeled(names[i])
+		bj, lj := splitLabeled(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return li < lj
+	})
+}
 
 // WriteProm renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4), so standard scrapers can consume the registry:
@@ -18,35 +76,65 @@ func (s Snapshot) WriteProm(w io.Writer) {
 	for n := range s.Counters {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	sortFamilies(names)
+	prev := ""
 	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
+		base, labels := splitLabeled(n)
+		if base != prev {
+			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			prev = base
+		}
+		fmt.Fprintf(w, "%s%s %d\n", base, labels, s.Counters[n])
 	}
 
 	names = names[:0]
 	for n := range s.Gauges {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	sortFamilies(names)
+	prev = ""
 	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[n])
+		base, labels := splitLabeled(n)
+		if base != prev {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			prev = base
+		}
+		fmt.Fprintf(w, "%s%s %d\n", base, labels, s.Gauges[n])
 	}
 
 	names = names[:0]
 	for n := range s.Hists {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	sortFamilies(names)
 	sec := func(d time.Duration) float64 { return d.Seconds() }
+	prev = ""
+	prevMax := ""
 	for _, n := range names {
 		h := s.Hists[n]
-		base := n + "_seconds"
-		fmt.Fprintf(w, "# TYPE %s summary\n", base)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", base, sec(h.P50))
-		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", base, sec(h.P95))
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", base, sec(h.P99))
-		fmt.Fprintf(w, "%s_sum %g\n", base, sec(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", base, h.Count)
-		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %g\n", base, base, sec(h.Max))
+		nb, labels := splitLabeled(n)
+		base := nb + "_seconds"
+		// A labeled summary merges the series labels with the quantile
+		// label: x_seconds{group="a",quantile="0.5"}.
+		q := func(quantile string) string {
+			if labels == "" {
+				return `{quantile="` + quantile + `"}`
+			}
+			return labels[:len(labels)-1] + `,quantile="` + quantile + `"}`
+		}
+		if base != prev {
+			fmt.Fprintf(w, "# TYPE %s summary\n", base)
+			prev = base
+		}
+		fmt.Fprintf(w, "%s%s %g\n", base, q("0.5"), sec(h.P50))
+		fmt.Fprintf(w, "%s%s %g\n", base, q("0.95"), sec(h.P95))
+		fmt.Fprintf(w, "%s%s %g\n", base, q("0.99"), sec(h.P99))
+		fmt.Fprintf(w, "%s_sum%s %g\n", base, labels, sec(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count)
+		if base != prevMax {
+			fmt.Fprintf(w, "# TYPE %s_max gauge\n", base)
+			prevMax = base
+		}
+		fmt.Fprintf(w, "%s_max%s %g\n", base, labels, sec(h.Max))
 	}
 }

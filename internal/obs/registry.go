@@ -290,13 +290,14 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
 	for n, h := range s.Hists {
+		base, labels := splitLabeled(n) // suffixes go before any label set
 		lines = append(lines,
-			fmt.Sprintf("%s_count %d", n, h.Count),
-			fmt.Sprintf("%s_sum_us %d", n, us(h.Sum)),
-			fmt.Sprintf("%s_max_us %d", n, us(h.Max)),
-			fmt.Sprintf("%s_p50_us %d", n, us(h.P50)),
-			fmt.Sprintf("%s_p95_us %d", n, us(h.P95)),
-			fmt.Sprintf("%s_p99_us %d", n, us(h.P99)),
+			fmt.Sprintf("%s_count%s %d", base, labels, h.Count),
+			fmt.Sprintf("%s_sum_us%s %d", base, labels, us(h.Sum)),
+			fmt.Sprintf("%s_max_us%s %d", base, labels, us(h.Max)),
+			fmt.Sprintf("%s_p50_us%s %d", base, labels, us(h.P50)),
+			fmt.Sprintf("%s_p95_us%s %d", base, labels, us(h.P95)),
+			fmt.Sprintf("%s_p99_us%s %d", base, labels, us(h.P99)),
 		)
 	}
 	sort.Strings(lines)

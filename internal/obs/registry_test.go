@@ -164,3 +164,51 @@ func TestSanitize(t *testing.T) {
 		t.Fatalf("Sanitize mangled clean input: %q", got)
 	}
 }
+
+// TestLabeledSeries: labeled instrument names round-trip through both
+// renderers — WriteText places histogram suffixes before the label set,
+// WriteProm emits one TYPE line per family even with labeled variants.
+func TestLabeledSeries(t *testing.T) {
+	if got := Labeled("x_total", "group", `kv/s0"quote`); got != `x_total{group="kv/s0\"quote"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("x", "group", "a", "proc", "p1"); got != `x{group="a",proc="p1"}` {
+		t.Fatalf("Labeled 2 pairs = %q", got)
+	}
+
+	r := NewRegistry()
+	r.Gauge(Labeled("core_server_app_sent", "group", "kv/s0")).Set(3)
+	r.Gauge(Labeled("core_server_app_sent", "group", "kv/s1")).Set(4)
+	r.Gauge("core_server_app_sent_extra").Set(9)
+	r.Histogram(Labeled("lat", "group", "kv/s0")).Observe(time.Millisecond)
+
+	var text strings.Builder
+	r.Snapshot().WriteText(&text)
+	for _, want := range []string{
+		`core_server_app_sent{group="kv/s0"} 3`,
+		`core_server_app_sent{group="kv/s1"} 4`,
+		`lat_count{group="kv/s0"} 1`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var prom strings.Builder
+	r.Snapshot().WriteProm(&prom)
+	out := prom.String()
+	if got := strings.Count(out, "# TYPE core_server_app_sent gauge"); got != 1 {
+		t.Fatalf("family TYPE line count = %d, want 1:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`core_server_app_sent{group="kv/s0"} 3`,
+		`core_server_app_sent{group="kv/s1"} 4`,
+		"# TYPE core_server_app_sent_extra gauge",
+		`lat_seconds{group="kv/s0",quantile="0.5"}`,
+		`lat_seconds_count{group="kv/s0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteProm missing %q:\n%s", want, out)
+		}
+	}
+}
