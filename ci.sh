@@ -27,7 +27,7 @@ if [ "${CI_SHORT:-0}" = "1" ]; then
 	go run ./cmd/newtop-lint ./...
 else
 	echo "== newtop-lint =="
-	go run ./cmd/newtop-lint -rules wiresym,wirepool,lockblock,detclock,goorphan,errdrop ./...
+	go run ./cmd/newtop-lint -rules wiresym,wirepool,lockblock,detclock,timerwheel,goorphan,errdrop ./...
 
 	# Static allocation budgets: every hot-path entry point in the
 	# internal/lint manifest must keep its reachable allocation-site count
@@ -58,7 +58,11 @@ if [ "${CI_SHORT:-0}" = "1" ]; then
 	echo "ci: CI_SHORT=1, skipping the race pass"
 else
 	echo "== go test -race =="
-	go test -race ./...
+	# -p 1: the race pass is CPU-bound and the protocol tests are
+	# timing-sensitive; running every package's tests concurrently on a
+	# small box is pure oversubscription that starves members past their
+	# suspicion windows. Serial packages cost nothing on one core.
+	go test -race -p 1 ./...
 fi
 
 # Smoke the pipelined invocation path end to end: the async window plus
@@ -93,5 +97,13 @@ go run ./cmd/newtop-bench -experiment readpath -quick
 # experiment).
 echo "== shards smoke =="
 go run ./cmd/newtop-bench -experiment shards -quick
+
+# Smoke the delivery engine at group-count scale: 512 idle event-driven
+# groups plus a hot subset in one process. The goroutine ceiling (O(1)
+# timer goroutines regardless of group count) and the wheel's per-sweep
+# budget are enforced inside the experiment. The committed full-scale
+# artifact is BENCH_manygroups.json (10k groups, -json run).
+echo "== manygroups smoke =="
+go run ./cmd/newtop-bench -experiment manygroups -quick
 
 echo "ci: all checks passed"

@@ -32,6 +32,9 @@ type Scale struct {
 	ShardCounts []int
 	// RingSeed seeds the shards experiment's consistent-hash placement.
 	RingSeed uint64
+	// Groups is the manygroups experiment's idle group population (the
+	// delivery-engine scale target); zero selects 10000.
+	Groups int
 }
 
 // FullScale reproduces the paper's sweep sizes.
@@ -43,6 +46,7 @@ func FullScale() Scale {
 		PeerMessages: 120,
 		PeerMembers:  []int{2, 3, 4, 5, 6, 7, 8, 9},
 		ShardCounts:  []int{1, 2, 4, 8},
+		Groups:       10000,
 	}
 }
 
@@ -55,6 +59,7 @@ func QuickScale() Scale {
 		PeerMessages: 30,
 		PeerMembers:  []int{2, 4, 6},
 		ShardCounts:  []int{1, 4},
+		Groups:       512,
 	}
 }
 
@@ -135,6 +140,7 @@ func Experiments() []Experiment {
 		{ID: "tcpnet", Title: "TCP transport: writer pipelines + frame coalescing, loopback peer group", Run: runTCPNet},
 		{ID: "readpath", Title: "Read path: leased local reads vs the all-ordered loop on a read-heavy mix", Run: runReadPath},
 		{ID: "shards", Title: "Shards: consistent-hash fabric scale-out, 1/2/4/8 groups on loopback TCP", Run: runShards},
+		{ID: "manygroups", Title: "Many groups: shared timer wheel + dispatch pool, 10k idle groups in one process", Run: runManyGroups},
 	}
 }
 

@@ -144,7 +144,20 @@ func (s *Service) serve(ctx context.Context, cfg ServeConfig, replica bool) (*Se
 	})
 
 	ready := make(chan error, 1)
-	go srv.groupLoop(replica, ready)
+	if replica {
+		// A replica first drains the state-transfer prologue from the
+		// Events() channel; it keeps the channel consumption mode for its
+		// lifetime (a group has exactly one consumption mode).
+		go srv.groupLoop(ready)
+	} else {
+		// Plain servers run straight off the dispatch stage: the group's
+		// events are handed to handleGroupEvent by a dispatch worker, in
+		// delivery order, with no per-server consumer goroutine or channel
+		// hop. Leave() quiesces the dispatch queue, so no handler call
+		// survives Close.
+		close(srv.loopDone)
+		srv.group.SetHandler(srv.handleGroupEvent)
+	}
 	// Announce ourselves so the existing members add us to the server
 	// roster (and, via their re-announcements, we learn them).
 	_ = group.Multicast(ctx, encodeHello()) //lint:ok errdrop best-effort: roster repair re-announces on every membership change
@@ -243,18 +256,17 @@ func (srv *Server) Close() error {
 	return nil
 }
 
-// groupLoop consumes the server group's delivery stream. For replicas it
-// first runs the state-transfer prologue, signalling readiness on ready.
-func (srv *Server) groupLoop(replica bool, ready chan<- error) {
+// groupLoop consumes a replica's server-group delivery stream: the
+// state-transfer prologue first, then the steady stream. Plain servers
+// skip this goroutine entirely (SetHandler in serve).
+func (srv *Server) groupLoop(ready chan<- error) {
 	defer close(srv.loopDone)
-	if replica {
-		ctx, cancel := context.WithTimeout(context.Background(), srv.rmWait)
-		err := srv.drainCatchup(ctx)
-		cancel()
-		ready <- err
-		if err != nil {
-			return
-		}
+	ctx, cancel := context.WithTimeout(context.Background(), srv.rmWait)
+	err := srv.drainCatchup(ctx)
+	cancel()
+	ready <- err
+	if err != nil {
+		return
 	}
 	for ev := range srv.group.Events() {
 		srv.handleGroupEvent(ev)

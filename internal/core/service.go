@@ -53,10 +53,17 @@ func NewService(ep transport.Endpoint) *Service { return NewServiceObs(ep, obs.D
 // NewServiceObs is NewService with an explicit observability domain (the
 // bench harness gives each experiment world its own).
 func NewServiceObs(ep transport.Endpoint, o *obs.Obs) *Service {
+	return NewServiceCfg(ep, o, gcs.NodeConfig{})
+}
+
+// NewServiceCfg is NewServiceObs with an explicit delivery-engine
+// configuration for the underlying gcs node (newtop-node threads its
+// -dispatch-workers flag through here).
+func NewServiceCfg(ep transport.Endpoint, o *obs.Obs, nc gcs.NodeConfig) *Service {
 	mux := transport.NewMuxObs(ep, o)
 	s := &Service{
 		mux:     mux,
-		node:    gcs.NewNodeObs(mux.Channel(transport.ProtoGCS), o),
+		node:    gcs.NewNodeCfg(mux.Channel(transport.ProtoGCS), o, nc),
 		orb:     orb.NewObs(mux.Channel(transport.ProtoORB), o),
 		obs:     o,
 		metrics: newCoreMetrics(o),

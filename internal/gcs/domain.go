@@ -36,7 +36,7 @@ import (
 type domainState struct {
 	mu        sync.Mutex
 	frontiers map[ids.GroupID]vclock.Stamp
-	kicks     map[ids.GroupID]chan struct{}
+	members   map[ids.GroupID]*Group
 	seq       uint64
 }
 
@@ -57,19 +57,20 @@ func (r *domainRegistry) state(name string) *domainState {
 	if !ok {
 		st = &domainState{
 			frontiers: make(map[ids.GroupID]vclock.Stamp),
-			kicks:     make(map[ids.GroupID]chan struct{}),
+			members:   make(map[ids.GroupID]*Group),
 		}
 		r.domains[name] = st
 	}
 	return st
 }
 
-// register adds a group to its domain, wiring its kick channel.
-func (st *domainState) register(gid ids.GroupID, kick chan struct{}) {
+// register adds a group to its domain. Sibling wake-ups are delivered as
+// coalesced dispatch kicks (Group.kickDispatch), not channels.
+func (st *domainState) register(gid ids.GroupID, g *Group) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.frontiers[gid] = vclock.Stamp{}
-	st.kicks[gid] = kick
+	st.members[gid] = g
 }
 
 // unregister removes a departing group and wakes the siblings (their gate
@@ -77,11 +78,11 @@ func (st *domainState) register(gid ids.GroupID, kick chan struct{}) {
 func (st *domainState) unregister(gid ids.GroupID) {
 	st.mu.Lock()
 	delete(st.frontiers, gid)
-	delete(st.kicks, gid)
-	kicks := st.snapshotKicksLocked(gid)
+	delete(st.members, gid)
+	sibs := st.snapshotMembersLocked(gid)
 	st.mu.Unlock()
-	for _, k := range kicks {
-		poke(k)
+	for _, s := range sibs {
+		s.kickDispatch()
 	}
 }
 
@@ -103,21 +104,21 @@ func (st *domainState) publish(gid ids.GroupID, frontier vclock.Stamp) {
 	// would clear deliveries against a frontier that no longer holds.
 	st.frontiers[gid] = frontier
 	advanced := old.Less(frontier)
-	var kicks []chan struct{}
+	var sibs []*Group
 	if advanced {
-		kicks = st.snapshotKicksLocked(gid)
+		sibs = st.snapshotMembersLocked(gid)
 	}
 	st.mu.Unlock()
-	for _, k := range kicks {
-		poke(k)
+	for _, s := range sibs {
+		s.kickDispatch()
 	}
 }
 
-func (st *domainState) snapshotKicksLocked(except ids.GroupID) []chan struct{} {
-	out := make([]chan struct{}, 0, len(st.kicks))
-	for gid, k := range st.kicks {
+func (st *domainState) snapshotMembersLocked(except ids.GroupID) []*Group {
+	out := make([]*Group, 0, len(st.members))
+	for gid, g := range st.members {
 		if gid != except {
-			out = append(out, k)
+			out = append(out, g)
 		}
 	}
 	return out
@@ -145,14 +146,6 @@ func (st *domainState) nextSeq() uint64 {
 	defer st.mu.Unlock()
 	st.seq++
 	return st.seq
-}
-
-// poke delivers a non-blocking wake-up.
-func poke(k chan struct{}) {
-	select {
-	case k <- struct{}{}:
-	default:
-	}
 }
 
 // frontierLocked computes this group's current frontier: the smallest

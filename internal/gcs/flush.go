@@ -388,12 +388,12 @@ func (g *Group) deliverCutLocked(cut []*dataMsg) {
 			g.stats.CutDelivered++
 			g.metrics.appDelivered.Inc()
 			g.metrics.cutDelivered.Inc()
-			g.events.Push(Event{Type: EventDeliver, Deliver: &Delivery{
+			g.pushEventLocked(Event{Type: EventDeliver, Deliver: &Delivery{
 				Sender:  m.Sender,
 				Payload: m.Payload,
 				Stamp:   m.stamp(),
 				ViewSeq: m.ViewSeq,
-			}})
+			}}, g.midx.posOf(m.Sender), m.Seq, uint32(m.ViewSeq))
 		}
 	}
 }

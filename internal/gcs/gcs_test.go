@@ -74,7 +74,11 @@ func testConfig(order gcs.OrderMode) gcs.GroupConfig {
 		Order:          order,
 		Liveness:       gcs.Lively,
 		TimeSilence:    5 * time.Millisecond,
-		SuspectTimeout: 80 * time.Millisecond,
+		// Large enough that a GC pause or scheduler hiccup on a loaded
+		// single-core CI box does not read as member silence and evict a
+		// healthy member mid-test; still ~60× smaller than the slowest
+		// eviction deadline any test waits with.
+		SuspectTimeout: 250 * time.Millisecond,
 		Resend:         20 * time.Millisecond,
 		FlushTimeout:   150 * time.Millisecond,
 		Tick:           2 * time.Millisecond,

@@ -155,12 +155,27 @@ type Group struct {
 	frGroup uint16
 
 	// domain is the node-local total-order domain (nil when not in one);
-	// kickCh wakes the tick loop when a sibling's frontier advances.
+	// sibling frontier advances arrive as coalesced dispatch kicks.
 	domain *domainState
-	kickCh chan struct{}
 
-	stopTick chan struct{}
-	tickDone chan struct{}
+	// wentry is the group's deadline on the node's shared timer wheel
+	// (wheel.go); parked (guarded by mu) is true while the group holds no
+	// scheduled tick at all — the idle event-driven state of paper §3.
+	wentry wheelEntry
+	parked bool
+
+	// Post-order dispatch queue (dispatch.go). evmu nests inside mu;
+	// evCond signals the end of an in-flight drain.
+	evmu       sync.Mutex
+	evCond     *sync.Cond
+	evq        []dispItem
+	evScratch  []dispItem
+	evActive   bool // queued on, or being drained by, the worker pool
+	evDraining bool // a worker is mid-batch
+	evKick     bool // coalesced domain kick pending
+	evFlush    bool // forward the FIFO backlog to a fresh handler
+	evClosed   bool
+	handler    func(Event)
 }
 
 // DebugCounters tallies protocol traffic for diagnostics (package-wide).
@@ -208,17 +223,20 @@ func newGroup(n *Node, id ids.GroupID, cfg GroupConfig, st groupState) *Group {
 		pendingJoins:  make(map[ids.ProcessID]bool),
 		pendingLeaves: make(map[ids.ProcessID]bool),
 		events:        queue.New[Event](),
-		stopTick:      make(chan struct{}),
-		tickDone:      make(chan struct{}),
 	}
 	g.cond = sync.NewCond(&g.mu)
+	g.evCond = sync.NewCond(&g.evmu)
 	g.events.OnDepth(func(n int) { g.metrics.eventsHigh.SetMax(int64(n)) })
-	g.kickCh = make(chan struct{}, 1)
 	if cfg.Domain != "" {
 		g.domain = n.dom.state(cfg.Domain)
-		g.domain.register(id, g.kickCh)
+		g.domain.register(id, g)
 	}
-	go g.tickLoop()
+	// Register the tick deadline on the node's shared wheel: one wheel
+	// goroutine drives every group, so a new group costs a list link, not
+	// a ticker goroutine.
+	g.wentry.g = g
+	g.metrics.groupsActive.Add(1)
+	n.wheel.schedule(&g.wentry, cfg.Tick)
 	return g
 }
 
@@ -298,6 +316,7 @@ func (g *Group) Attend() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.attention++
+	g.unparkLocked()
 	g.updateActivityLocked()
 }
 
@@ -326,6 +345,7 @@ func (g *Group) Suspect(p ids.ProcessID) {
 	if p == g.me || !g.view.Contains(p) || g.suspects[p] {
 		return
 	}
+	g.unparkLocked()
 	g.suspects[p] = true
 	if coord := g.actingCoordinator(); coord != g.me {
 		g.sendLocked(coord, encodeMessage(&suspectMsg{Group: g.id, Accused: p}))
@@ -406,6 +426,7 @@ func (g *Group) sendDataLocked(null bool, payload []byte) {
 // without entering the delivery loop (so the loop itself can announce
 // sequencer decisions without recursing).
 func (g *Group) emitDataLocked(null bool, payload []byte) {
+	g.unparkLocked()
 	if null {
 		DebugCounters.Null.Add(1)
 		g.stats.NullSent++
@@ -695,6 +716,7 @@ func (g *Group) acceptBatchLocked(b *batchMsg) bool {
 func (g *Group) handleBurst(msgs []any, bytes int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.unparkLocked()
 	g.stats.BytesReceived += uint64(bytes)
 	g.metrics.bytesRecv.Add(uint64(bytes))
 	accepted := false
@@ -1214,7 +1236,7 @@ func (g *Group) deliverLocked(m *dataMsg) {
 		if g.lastDelivStamp.Less(d.Stamp) {
 			g.lastDelivStamp = d.Stamp
 		}
-		g.events.Push(Event{Type: EventDeliver, Deliver: d})
+		g.pushEventLocked(Event{Type: EventDeliver, Deliver: d}, m.senderIdx, m.Seq, uint32(m.ViewSeq))
 	}
 	if g.frontierWaiters > 0 {
 		g.cond.Broadcast() // a ReadIndex barrier may have been reached
@@ -1350,8 +1372,9 @@ func (g *Group) installViewLocked(v View) {
 	// regresses until the new view's members have spoken.
 	g.publishFrontierLocked()
 	view := v.Clone()
-	g.events.Push(Event{Type: EventView, View: &view})
+	g.pushEventLocked(Event{Type: EventView, View: &view}, int(flight.NoSender), 0, uint32(v.Seq))
 	g.updateActivityLocked()
+	g.unparkLocked()
 	g.cond.Broadcast()
 
 	// Coordinatorship may have moved with this view (e.g. the configured
@@ -1395,12 +1418,15 @@ func (g *Group) Leave() error {
 		g.sendLocked(coord, enc)
 	}
 	g.node.dropGroup(g.id)
-	<-g.tickDone
+	g.closeDispatch()
 	g.events.Close()
 	return nil
 }
 
-// closeLocked transitions to the terminal state and stops the ticker.
+// closeLocked transitions to the terminal state and deregisters the
+// group's wheel deadline. The dispatch queue is shut separately
+// (closeDispatch), outside g.mu: it may have to wait out an in-flight
+// drain, and drains take g.mu for domain kicks.
 func (g *Group) closeLocked(err error) {
 	if g.state == stateLeft {
 		return
@@ -1410,10 +1436,12 @@ func (g *Group) closeLocked(err error) {
 		g.domain.unregister(g.id)
 	}
 	g.joinErr = err
-	select {
-	case <-g.stopTick:
-	default:
-		close(g.stopTick)
+	if !g.parked {
+		g.parked = true
+		g.node.wheel.cancel(&g.wentry)
+		g.metrics.groupsActive.Add(-1)
+	} else {
+		g.metrics.groupsIdle.Add(-1)
 	}
 	g.cond.Broadcast()
 }
@@ -1423,6 +1451,7 @@ func (g *Group) closeLocked(err error) {
 func (g *Group) handle(from ids.ProcessID, msg any, size int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.unparkLocked()
 	g.stats.BytesReceived += uint64(size)
 	g.metrics.bytesRecv.Add(uint64(size))
 	defer func() {

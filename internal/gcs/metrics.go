@@ -41,6 +41,12 @@ type gcsMetrics struct {
 	// High-water marks of the delivery and retention queues, and of the
 	// consumer-facing event queue.
 	pendingHigh, storeHigh, eventsHigh *obs.Gauge
+
+	// groupsActive / groupsIdle partition the node's groups by whether
+	// they hold a wheel entry: a parked (idle event-driven) group costs
+	// zero scheduled work until the next event unparks it.
+	groupsActive *obs.Gauge
+	groupsIdle   *obs.Gauge
 }
 
 func newGCSMetrics(o *obs.Obs) *gcsMetrics {
@@ -65,5 +71,7 @@ func newGCSMetrics(o *obs.Obs) *gcsMetrics {
 		pendingHigh:     o.Reg.Gauge("gcs_pending_highwater"),
 		storeHigh:       o.Reg.Gauge("gcs_store_highwater"),
 		eventsHigh:      o.Reg.Gauge("gcs_events_queue_highwater"),
+		groupsActive:    o.Reg.Gauge("gcs_groups_active"),
+		groupsIdle:      o.Reg.Gauge("gcs_groups_idle"),
 	}
 }

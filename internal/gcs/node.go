@@ -3,6 +3,7 @@ package gcs
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -13,18 +14,44 @@ import (
 	"newtop/internal/vclock"
 )
 
+// NodeConfig tunes the node-wide delivery engine. The zero value selects
+// sensible defaults, so NewNode/NewNodeObs need no configuration.
+type NodeConfig struct {
+	// DispatchWorkers sizes the post-order dispatch pool (dispatch.go):
+	// how many groups can run servant execution / delivery fan-out
+	// concurrently. Per-group delivery order is preserved at any setting
+	// (single-writer per group). 0 selects GOMAXPROCS, capped at 8.
+	DispatchWorkers int
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.DispatchWorkers <= 0 {
+		c.DispatchWorkers = runtime.GOMAXPROCS(0)
+		if c.DispatchWorkers > 8 {
+			c.DispatchWorkers = 8
+		}
+	}
+	return c
+}
+
 // Node is one process's attachment to the group communication service. A
 // node participates in any number of groups over a single transport
 // endpoint, and all of its groups share one Lamport clock — the property
 // that preserves causality across overlapping groups (paper fig. 7).
 type Node struct {
 	ep      transport.Endpoint
+	cfg     NodeConfig
 	clock   *vclock.Lamport
 	dom     *domainRegistry
 	obs     *obs.Obs
 	metrics *gcsMetrics
 	fr      *flight.Recorder
 	frProc  uint16
+
+	// wheel is the shared timer driving every group's tick machinery;
+	// disp is the post-order dispatch pool (see wheel.go, dispatch.go).
+	wheel *wheel
+	disp  *dispatcher
 
 	// dec is the receive loop's codec state: a reusable reader plus
 	// intern tables for the identifier strings every frame repeats.
@@ -46,8 +73,15 @@ func NewNode(ep transport.Endpoint) *Node { return NewNodeObs(ep, obs.Default())
 // NewNodeObs is NewNode with an explicit observability domain (the bench
 // harness gives each experiment world its own).
 func NewNodeObs(ep transport.Endpoint, o *obs.Obs) *Node {
+	return NewNodeCfg(ep, o, NodeConfig{})
+}
+
+// NewNodeCfg is NewNodeObs with an explicit delivery-engine configuration.
+func NewNodeCfg(ep transport.Endpoint, o *obs.Obs, cfg NodeConfig) *Node {
+	cfg = cfg.withDefaults()
 	n := &Node{
 		ep:       ep,
+		cfg:      cfg,
 		clock:    vclock.NewLamport(),
 		dom:      newDomainRegistry(),
 		obs:      o,
@@ -58,8 +92,18 @@ func NewNodeObs(ep transport.Endpoint, o *obs.Obs) *Node {
 		groups:   make(map[ids.GroupID]*Group),
 		recvDone: make(chan struct{}),
 	}
+	n.wheel = newWheel(o)
+	n.disp = newDispatcher(cfg.DispatchWorkers, o)
 	go n.recvLoop()
 	return n
+}
+
+// WheelStats exposes the shared timer wheel's instantaneous depth and
+// cumulative sweep cost (for the manygroups scale bench and tests).
+func (n *Node) WheelStats() (depth int, sweeps, sweepNanos uint64) {
+	depth = n.wheel.depth()
+	sweeps, sweepNanos = n.wheel.sweepStats()
+	return
 }
 
 // Obs returns the node's observability domain.
@@ -150,9 +194,9 @@ func (n *Node) Join(ctx context.Context, id ids.GroupID, contact ids.ProcessID, 
 			g.mu.Unlock()
 			n.dropGroup(id)
 			// Full teardown, as in abandonJoin: a rejected join (config
-			// mismatch, remote shutdown) must also reap the ticker and
-			// the events pump, or every failed join leaks a goroutine.
-			<-g.tickDone
+			// mismatch, remote shutdown) must also quiesce the dispatch
+			// queue and the events pump, or every failed join leaks state.
+			g.closeDispatch()
 			g.events.Close()
 			if err == nil {
 				err = ErrLeft
@@ -170,7 +214,7 @@ func (n *Node) abandonJoin(g *Group) {
 	g.closeLocked(nil)
 	g.mu.Unlock()
 	n.dropGroup(g.id)
-	<-g.tickDone
+	g.closeDispatch()
 	g.events.Close()
 }
 
@@ -207,6 +251,8 @@ func (n *Node) Close() error {
 	for _, g := range groups {
 		_ = g.Leave()
 	}
+	n.disp.close()
+	n.wheel.close()
 	err := n.ep.Close()
 	<-n.recvDone
 	return err

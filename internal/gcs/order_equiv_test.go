@@ -10,6 +10,7 @@ import (
 
 	"newtop/internal/ids"
 	"newtop/internal/netsim"
+	"newtop/internal/obs"
 	"newtop/internal/transport/memnet"
 )
 
@@ -264,6 +265,7 @@ type equivOpts struct {
 	loss      float64 // packet loss probability after the view forms
 	batch     bool
 	leaveMid  bool // member[members-1] leaves between two send phases
+	workers   int  // dispatch pool size per node; 0 selects the default
 }
 
 // runOrderEquiv drives a full group under the oracle and returns the
@@ -294,7 +296,7 @@ func runOrderEquiv(t *testing.T, opts equivOpts) [][]string {
 		if err != nil {
 			t.Fatal(err)
 		}
-		n := NewNode(ep)
+		n := NewNodeCfg(ep, obs.Default(), NodeConfig{DispatchWorkers: opts.workers})
 		nodes = append(nodes, n)
 		var g *Group
 		if i == 0 {
@@ -480,5 +482,21 @@ func TestOrderEquivSequencerViewChange(t *testing.T) {
 
 func TestOrderEquivSequencerBatchLoss(t *testing.T) {
 	seqs := runOrderEquiv(t, equivOpts{order: OrderSequencer, members: 3, perSender: 60, batch: true, loss: 0.03})
+	assertSameOrder(t, seqs, 3)
+}
+
+// Multi-worker dispatch must not reorder deliveries: the pool hands each
+// group to at most one worker at a time (single-writer), so the
+// byte-identical total order must survive DispatchWorkers > 1 exactly as
+// it holds at 1. These runs exercise the engine's concurrency across
+// groups while pinning order within each.
+
+func TestOrderEquivSymmetricWorkers(t *testing.T) {
+	seqs := runOrderEquiv(t, equivOpts{order: OrderSymmetric, members: 4, perSender: 80, workers: 4})
+	assertSameOrder(t, seqs, 4)
+}
+
+func TestOrderEquivSequencerWorkersLoss(t *testing.T) {
+	seqs := runOrderEquiv(t, equivOpts{order: OrderSequencer, members: 3, perSender: 60, loss: 0.05, workers: 4})
 	assertSameOrder(t, seqs, 3)
 }

@@ -304,7 +304,6 @@ func TestLargeGroupDeliversPromptly(t *testing.T) {
 			h := newHarness(t, members)
 			cfg := testConfig(order)
 			cfg.Liveness = gcs.EventDriven // count protocol cost, not heartbeats
-			groups := h.buildGroup("g", cfg)
 
 			// The deadlines are real-time bounds on a 15-member protocol
 			// round; the race detector's slowdown (worst on single-core
@@ -312,7 +311,14 @@ func TestLargeGroupDeliversPromptly(t *testing.T) {
 			deadline, prompt := 10*time.Second, 3*time.Second
 			if raceEnabled {
 				deadline, prompt = 40*time.Second, 20*time.Second
+				// The same starvation stretches a member's silence past
+				// the suspicion window and evicts it mid-test; widen the
+				// failure-detection timers too — promptness and message
+				// budget are under test here, not suspicion.
+				cfg.SuspectTimeout = 2 * time.Second
+				cfg.FlushTimeout = 4 * time.Second
 			}
+			groups := h.buildGroup("g", cfg)
 
 			start := time.Now()
 			if err := groups[members-1].Multicast(context.Background(), []byte("one")); err != nil {

@@ -12,40 +12,31 @@ import (
 // unacknowledged-message retransmission and flush timeouts. For lively
 // groups the machinery runs for the group's whole lifetime; for
 // event-driven groups only while undelivered or unstable messages exist
-// (paper §3).
+// (paper §3) — and an event-driven group with nothing left to do *parks*:
+// it deregisters from the node's shared timer wheel entirely, costing
+// zero scheduled work until the next inbound frame, local send, or
+// Attend/Suspect call unparks it.
 
-func (g *Group) tickLoop() {
-	defer close(g.tickDone)
-	ticker := time.NewTicker(g.cfg.Tick)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-g.stopTick:
-			return
-		case <-ticker.C:
-			g.tick()
-		case <-g.kickCh:
-			// A sibling domain group's frontier advanced: re-run the
-			// delivery check.
-			g.mu.Lock()
-			g.tryDeliverLocked()
-			g.publishFrontierLocked()
-			g.mu.Unlock()
-		}
-	}
-}
-
-func (g *Group) tick() {
+// tick runs one beat of the timer machinery and re-arms (or parks) the
+// group's wheel entry. It is called by the wheel goroutine with the
+// sweep's shared wall-clock reading — the clock is read once per sweep,
+// not once per group per tick.
+func (g *Group) tick(now time.Time) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	// The tick count is the group's deterministic clock: every read-lease
 	// expiry decision is a comparison of tick counts (see lease.go), so it
-	// advances unconditionally, before any early return.
+	// advances unconditionally, before any early return. (It freezes while
+	// parked, but only groups without leases, domains or lively liveness
+	// ever park.)
 	g.tickCount++
-	if g.state == stateLeft || g.state == stateJoining {
+	if g.state == stateLeft {
+		return // closeLocked already canceled the entry; do not re-arm
+	}
+	if g.state == stateJoining {
+		g.rearmLocked()
 		return
 	}
-	now := time.Now()
 	g.updateActivityLocked()
 	active := g.wasActive
 
@@ -147,6 +138,61 @@ func (g *Group) tick() {
 			g.leaseWasValid = valid
 		}
 	}
+
+	if g.canParkLocked() {
+		g.parkLocked()
+		return
+	}
+	g.rearmLocked()
+}
+
+// rearmLocked schedules the next tick on the shared wheel. The entry was
+// just popped by the wheel sweep (or is being created), so scheduling
+// never races a pending expiry.
+func (g *Group) rearmLocked() {
+	g.node.wheel.schedule(&g.wentry, g.cfg.Tick)
+}
+
+// canParkLocked reports whether an event-driven group has nothing left
+// for the timer machinery to do: no undelivered or unstable messages, no
+// membership round, batch residue, read-barrier waiter or outstanding
+// attention — and no configuration (lease, domain, lively liveness) that
+// needs a continuous beat. Parked groups hold no wheel entry at all.
+func (g *Group) canParkLocked() bool {
+	if g.cfg.Liveness != EventDriven || g.cfg.LeaseTicks > 0 || g.domain != nil {
+		return false
+	}
+	if g.state != stateNormal || g.activeLocked() {
+		return false
+	}
+	return g.fl == nil && g.curProposal == nil &&
+		len(g.batchBuf) == 0 && g.frontierWaiters == 0 &&
+		len(g.suspects) == 0 &&
+		len(g.pendingJoins) == 0 && len(g.pendingLeaves) == 0
+}
+
+// parkLocked drops the group from the wheel (the firing sweep already
+// popped the entry, so there is nothing to cancel).
+func (g *Group) parkLocked() {
+	if g.parked {
+		return
+	}
+	g.parked = true
+	g.metrics.groupsActive.Add(-1)
+	g.metrics.groupsIdle.Add(1)
+}
+
+// unparkLocked re-registers a parked group on the wheel. Called from
+// every entry point that can create timer work: inbound frames, local
+// sends, Attend, Suspect and view installations.
+func (g *Group) unparkLocked() {
+	if !g.parked || g.state == stateLeft {
+		return
+	}
+	g.parked = false
+	g.metrics.groupsIdle.Add(-1)
+	g.metrics.groupsActive.Add(1)
+	g.node.wheel.schedule(&g.wentry, g.cfg.Tick)
 }
 
 // ackProgress tracks, per peer, the last acknowledgement level observed

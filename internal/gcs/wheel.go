@@ -1,0 +1,384 @@
+package gcs
+
+import (
+	"sync"
+	"time"
+
+	"newtop/internal/obs"
+)
+
+// The shared hierarchical timer wheel. One wheel goroutine per node
+// replaces every per-group ticker goroutine: groups register their next
+// tick deadline as a wheel entry, the wheel sleeps until the earliest
+// registered deadline, reads the wall clock once per sweep, and fires the
+// expired groups' tick machinery with that shared timestamp. A parked
+// (idle event-driven) group holds no entry at all, so 10k mostly-idle
+// groups cost the process exactly one timer goroutine and zero scheduled
+// work — the paper's §3 promise that event-driven groups are nearly free
+// between bursts, realised at the runtime level.
+//
+// Layout: a classic hashed hierarchical wheel. Level 0 has 256 slots of
+// one wheel unit (2^18 ns ≈ 262 µs) each; levels 1–3 have 64 slots of
+// 256, 16384 and 2^20 units. Together they cover ~4.9 h of future
+// deadlines; anything farther is clamped to the top level and re-filed
+// when it cascades (it simply gets re-examined early, never late by more
+// than a unit). Entries are intrusive doubly-linked list nodes embedded
+// in the Group, so scheduling, cancelling and firing allocate nothing.
+
+const (
+	// wheelUnitShift converts nanoseconds to wheel units: 2^18 ns ≈ 262 µs
+	// per unit, fine enough that the 2 ms ticks the tests run with keep
+	// sub-millisecond fidelity.
+	wheelUnitShift = 18
+
+	wheelL0Bits  = 8
+	wheelL0Slots = 1 << wheelL0Bits // 256 units ≈ 67 ms
+	wheelLnBits  = 6
+	wheelLnSlots = 1 << wheelLnBits
+	wheelLevels  = 4
+)
+
+// wheelSpan[l] is the number of units one slot of level l covers.
+var wheelSpan = [wheelLevels]int64{
+	1,
+	wheelL0Slots,
+	wheelL0Slots * wheelLnSlots,
+	wheelL0Slots * wheelLnSlots * wheelLnSlots,
+}
+
+// wheelMax is the highest schedulable distance (exclusive): beyond it,
+// deadlines clamp to the top level.
+const wheelMax = int64(wheelL0Slots) * wheelLnSlots * wheelLnSlots * wheelLnSlots
+
+// wheelEntry is one group's registered deadline, embedded in the Group so
+// scheduling is allocation-free. All fields are guarded by the wheel's
+// mutex; the owning group reads nothing from it directly.
+type wheelEntry struct {
+	g          *Group
+	expire     int64 // absolute deadline, wheel units since wheel start
+	next, prev *wheelEntry
+	linked     bool
+}
+
+// wheelSlot is an intrusive circular list head.
+type wheelSlot struct {
+	head wheelEntry // sentinel; head.next/head.prev are the list
+}
+
+func (s *wheelSlot) init() {
+	s.head.next = &s.head
+	s.head.prev = &s.head
+}
+
+func (s *wheelSlot) empty() bool { return s.head.next == &s.head }
+
+func (s *wheelSlot) pushBack(e *wheelEntry) {
+	e.prev = s.head.prev
+	e.next = &s.head
+	s.head.prev.next = e
+	s.head.prev = e
+	e.linked = true
+}
+
+func unlink(e *wheelEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.next, e.prev = nil, nil
+	e.linked = false
+}
+
+// wheel is the node's shared timer. Lock order: a caller may take
+// wheel.mu while holding g.mu (schedule/cancel from inside the group
+// machinery); the wheel goroutine never holds its own mutex while calling
+// into a group, so the reverse edge does not exist.
+type wheel struct {
+	start time.Time // wall-clock origin of the unit scale
+
+	mu     sync.Mutex
+	cur    int64 // last processed unit
+	l0     [wheelL0Slots]wheelSlot
+	ln     [wheelLevels - 1][wheelLnSlots]wheelSlot
+	count  int   // scheduled entries
+	armed  int64 // unit the run loop is currently sleeping toward (-1: parked)
+	closed bool
+
+	// sweeps/sweepNanos measure the cost of the expiry machinery itself
+	// (collection under mu, not the group ticks), for the manygroups
+	// budget: ns/tick-sweep must stay flat as idle groups accumulate.
+	sweeps     uint64
+	sweepNanos uint64
+
+	depthGauge *obs.Gauge
+	wake       chan struct{}
+	stop       chan struct{}
+	done       chan struct{}
+
+	fired []*wheelEntry // reusable collection buffer, run loop only
+}
+
+func newWheel(o *obs.Obs) *wheel {
+	w := &wheel{
+		start:      time.Now(),
+		armed:      -1,
+		depthGauge: o.Reg.Gauge("gcs_wheel_depth"),
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for i := range w.l0 {
+		w.l0[i].init()
+	}
+	for l := range w.ln {
+		for i := range w.ln[l] {
+			w.ln[l][i].init()
+		}
+	}
+	go w.run()
+	return w
+}
+
+// unitsOf converts a wall-clock instant to wheel units.
+func (w *wheel) unitsOf(t time.Time) int64 {
+	d := t.Sub(w.start)
+	if d < 0 {
+		return 0
+	}
+	return int64(d) >> wheelUnitShift
+}
+
+// schedule registers (or re-registers) an entry d from now. Safe to call
+// with the owning group's mutex held.
+func (w *wheel) schedule(e *wheelEntry, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	now := time.Now()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	if e.linked {
+		unlink(e)
+		w.count--
+	}
+	e.expire = w.unitsOf(now) + 1 + int64(d)>>wheelUnitShift
+	w.placeLocked(e)
+	w.count++
+	w.depthGauge.Set(int64(w.count))
+	// Wake the run loop if this deadline beats whatever it sleeps toward.
+	poke := w.armed < 0 || e.expire < w.armed
+	w.mu.Unlock()
+	if poke {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// cancel removes an entry if scheduled. Safe under the owning group's mu.
+func (w *wheel) cancel(e *wheelEntry) {
+	w.mu.Lock()
+	if e.linked {
+		unlink(e)
+		w.count--
+		w.depthGauge.Set(int64(w.count))
+	}
+	w.mu.Unlock()
+}
+
+// depth returns the number of scheduled entries.
+func (w *wheel) depth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// sweepStats returns the cumulative sweep count and the nanoseconds the
+// sweeps spent collecting expired entries.
+func (w *wheel) sweepStats() (sweeps, nanos uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sweeps, w.sweepNanos
+}
+
+// placeLocked files an entry in the level whose span covers its distance.
+func (w *wheel) placeLocked(e *wheelEntry) {
+	d := e.expire - w.cur
+	if d < 1 {
+		d = 1
+		e.expire = w.cur + 1
+	}
+	if d >= wheelMax {
+		e.expire = w.cur + wheelMax - 1
+		d = wheelMax - 1
+	}
+	switch {
+	case d < wheelSpan[1]:
+		w.l0[e.expire&(wheelL0Slots-1)].pushBack(e)
+	case d < wheelSpan[2]:
+		w.ln[0][(e.expire/wheelSpan[1])&(wheelLnSlots-1)].pushBack(e)
+	case d < wheelSpan[3]:
+		w.ln[1][(e.expire/wheelSpan[2])&(wheelLnSlots-1)].pushBack(e)
+	default:
+		w.ln[2][(e.expire/wheelSpan[3])&(wheelLnSlots-1)].pushBack(e)
+	}
+}
+
+// collectLocked advances the wheel to `now` units, cascading higher
+// levels and appending every expired entry to w.fired.
+func (w *wheel) collectLocked(now int64) {
+	for w.cur < now {
+		next := w.nextEventLocked()
+		if next < 0 || next > now {
+			w.cur = now
+			return
+		}
+		w.cur = next
+		// Cascade any higher-level slot whose window begins here: its
+		// entries re-file into lower levels (or fire) with their exact
+		// deadlines.
+		for l := 0; l < wheelLevels-1; l++ {
+			span := wheelSpan[l+1]
+			if w.cur%span != 0 {
+				break
+			}
+			slot := &w.ln[l][(w.cur/span)&(wheelLnSlots-1)]
+			for !slot.empty() {
+				e := slot.head.next
+				unlink(e)
+				if e.expire <= w.cur {
+					e.expire = w.cur // late cascade: fire now
+					w.fired = append(w.fired, e)
+					w.count--
+					continue
+				}
+				w.placeLocked(e)
+			}
+		}
+		// Fire the level-0 slot: entries one revolution out stay.
+		slot := &w.l0[w.cur&(wheelL0Slots-1)]
+		for e := slot.head.next; e != &slot.head; {
+			n := e.next
+			if e.expire <= w.cur {
+				unlink(e)
+				w.fired = append(w.fired, e)
+				w.count--
+			}
+			e = n
+		}
+	}
+}
+
+// nextEventLocked returns the next unit after w.cur at which something
+// could expire or cascade (-1 when nothing is scheduled). Level 0 yields
+// exact deadlines; higher levels yield their slot's window start, where
+// the cascade re-files the slot with exact times. A slot occupied only by
+// next-revolution entries produces a spurious (empty) visit at most once
+// per revolution — cheap, and it keeps this computation simple.
+func (w *wheel) nextEventLocked() int64 {
+	if w.count == 0 {
+		return -1
+	}
+	best := int64(-1)
+	for i := int64(1); i <= wheelL0Slots; i++ {
+		t := w.cur + i
+		if !w.l0[t&(wheelL0Slots-1)].empty() {
+			best = t
+			break
+		}
+	}
+	for l := 0; l < wheelLevels-1; l++ {
+		span := wheelSpan[l+1]
+		base := w.cur/span + 1 // first whole window after cur
+		for j := int64(0); j < wheelLnSlots; j++ {
+			idx := (base + j) & (wheelLnSlots - 1)
+			if w.ln[l][idx].empty() {
+				continue
+			}
+			t := (base + j) * span
+			if best < 0 || t < best {
+				best = t
+			}
+			break
+		}
+	}
+	return best
+}
+
+// run is the wheel goroutine: sleep to the next deadline, sweep, fire.
+func (w *wheel) run() {
+	defer close(w.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return
+		}
+		sweepStart := time.Now()
+		w.fired = w.fired[:0]
+		w.collectLocked(w.unitsOf(sweepStart))
+		w.sweeps++
+		w.sweepNanos += uint64(time.Since(sweepStart))
+		next := w.nextEventLocked()
+		w.armed = next
+		if len(w.fired) > 0 {
+			w.depthGauge.Set(int64(w.count))
+		}
+		fired := w.fired
+		w.mu.Unlock()
+
+		// Fire outside the wheel lock: group ticks take g.mu and may
+		// re-schedule (g.mu → wheel.mu is the sanctioned order).
+		now := sweepStart
+		for i, e := range fired {
+			e.g.tick(now)
+			fired[i] = nil
+		}
+
+		var sleep <-chan time.Time
+		if next >= 0 {
+			d := time.Duration(next-w.unitsOf(time.Now()))<<wheelUnitShift + (1 << (wheelUnitShift - 1))
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			sleep = timer.C
+		}
+		select {
+		case <-w.wake:
+			if sleep != nil && !timer.Stop() {
+				<-timer.C
+			}
+		case <-sleep:
+		case <-w.stop:
+			if sleep != nil && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			return
+		}
+	}
+}
+
+// close stops the wheel goroutine and waits for it to exit. Entries still
+// linked are abandoned (their groups are closing too).
+func (w *wheel) close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+}

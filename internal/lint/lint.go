@@ -89,6 +89,7 @@ func Analyzers() []*Analyzer {
 		WirePool(),
 		LockBlock(),
 		DetClock(),
+		TimerWheel(),
 		GoOrphan(),
 		ErrDrop(),
 		AllocFlow(),

@@ -98,12 +98,13 @@ func runFixture(t *testing.T, name string, a *Analyzer) {
 	}
 }
 
-func TestWireSym(t *testing.T)   { runFixture(t, "wiresym", WireSym()) }
-func TestWirePool(t *testing.T)  { runFixture(t, "wirepool", WirePool()) }
-func TestLockBlock(t *testing.T) { runFixture(t, "lockblock", LockBlock()) }
-func TestDetClock(t *testing.T)  { runFixture(t, "detclock", DetClock()) }
-func TestGoOrphan(t *testing.T)  { runFixture(t, "goorphan", GoOrphan()) }
-func TestErrDrop(t *testing.T)   { runFixture(t, "errdrop", ErrDrop()) }
+func TestWireSym(t *testing.T)    { runFixture(t, "wiresym", WireSym()) }
+func TestWirePool(t *testing.T)   { runFixture(t, "wirepool", WirePool()) }
+func TestLockBlock(t *testing.T)  { runFixture(t, "lockblock", LockBlock()) }
+func TestDetClock(t *testing.T)   { runFixture(t, "detclock", DetClock()) }
+func TestTimerWheel(t *testing.T) { runFixture(t, "timerwheel", TimerWheel()) }
+func TestGoOrphan(t *testing.T)   { runFixture(t, "goorphan", GoOrphan()) }
+func TestErrDrop(t *testing.T)    { runFixture(t, "errdrop", ErrDrop()) }
 
 // TestDirectiveMalformed checks that broken //lint:ok comments are
 // reported even when no analyzer runs: a directive that parses wrong
@@ -128,8 +129,8 @@ func TestDirectiveMalformed(t *testing.T) {
 // TestAnalyzersNamed checks rule-subset selection and its error path.
 func TestAnalyzersNamed(t *testing.T) {
 	all, err := AnalyzersNamed("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("AnalyzersNamed(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("AnalyzersNamed(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	two, err := AnalyzersNamed("wiresym,errdrop")
 	if err != nil || len(two) != 2 {

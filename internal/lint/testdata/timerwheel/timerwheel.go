@@ -1,0 +1,47 @@
+// Package timerwheel is a lint fixture: private timer goroutines in group
+// communication code that must schedule on the shared wheel instead.
+// Expectations live in the `// want` comments.
+package timerwheel
+
+import "time"
+
+type group struct {
+	tick time.Duration
+}
+
+// A per-group ticker goroutine is the exact pattern the wheel replaces.
+func (g *group) tickLoop(stop <-chan struct{}) {
+	t := time.NewTicker(g.tick) // want timerwheel "time.NewTicker"
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// AfterFunc spawns a hidden timer goroutine per call.
+func (g *group) arm(fn func()) *time.Timer {
+	return time.AfterFunc(g.tick, fn) // want timerwheel "time.AfterFunc"
+}
+
+// time.Tick leaks a ticker that can never be stopped.
+func (g *group) leakyBeat() <-chan time.Time {
+	return time.Tick(g.tick) // want timerwheel "time.Tick"
+}
+
+// One-shot timer waits (join retries, bounded sleeps) are fine: they end.
+func (g *group) wait(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// The escape hatch: an annotated deliberate exception.
+func (g *group) probe(stop <-chan struct{}) {
+	t := time.NewTicker(time.Minute) //lint:ok timerwheel demo exception: fixture exercises the escape hatch
+	defer t.Stop()
+	<-stop
+}

@@ -32,6 +32,11 @@ type Timeline struct {
 	// self-ingest and delivery are included.
 	Ingest  map[uint16]int64
 	Deliver map[uint16]int64
+	// DispStart and DispDone map proc ID → dispatch-stage event times: when
+	// a worker picked the delivered message up for fan-out and when the
+	// servant/consumer returned. Empty for journals predating the stage.
+	DispStart map[uint16]int64
+	DispDone  map[uint16]int64
 	// Cut marks a message force-delivered by a view-change cut somewhere.
 	Cut bool
 }
@@ -52,7 +57,8 @@ func Timelines(events []Event) map[MsgKey]*Timeline {
 		tl, ok := tls[k]
 		if !ok {
 			tl = &Timeline{Key: k, Sent: -1, Flushed: -1,
-				Ingest: make(map[uint16]int64), Deliver: make(map[uint16]int64)}
+				Ingest: make(map[uint16]int64), Deliver: make(map[uint16]int64),
+				DispStart: make(map[uint16]int64), DispDone: make(map[uint16]int64)}
 			tls[k] = tl
 		}
 		return tl
@@ -95,6 +101,16 @@ func Timelines(events []Event) map[MsgKey]*Timeline {
 			if _, ok := tl.Deliver[e.Proc]; !ok {
 				tl.Deliver[e.Proc] = e.At
 			}
+		case EvDispatchStart:
+			tl := get(e)
+			if _, ok := tl.DispStart[e.Proc]; !ok {
+				tl.DispStart[e.Proc] = e.At
+			}
+		case EvDispatchDone:
+			tl := get(e)
+			if _, ok := tl.DispDone[e.Proc]; !ok {
+				tl.DispDone[e.Proc] = e.At
+			}
 		}
 	}
 	// Second pass: attribute each sent message to the batch envelope that
@@ -132,19 +148,30 @@ type Stage struct {
 //	queue-wait     multicast enqueue → batch flush (sender-local)
 //	wire           sender flush → receiver ingest (cross-process; valid
 //	               when the recorders share the process journal epoch)
-//	ordering-wait  ingest → deliver at each receiver
+//	ordering-wait  ingest → deliver at each receiver (the protocol's
+//	               ordering cost, ending at the ordered hand-off)
+//	dispatch-wait  deliver → dispatch-start: how long the ordered message
+//	               queued behind its group's earlier fan-outs
+//	servant-exec   dispatch-start → dispatch-done: the handler / consumer
+//	               push itself, off the group lock
 //	delivery       first member's delivery → last member's delivery
 //	               (the deliver-all spread)
+//
+// Splitting ordering-wait from dispatch-wait and servant-exec is what the
+// dispatch stage buys observability: before it, handler time was
+// indistinguishable from protocol ordering stall.
 type Decomposition struct {
-	Queue, Wire, Order, Spread Stage
+	Queue, Wire, Order, Dispatch, Exec, Spread Stage
 }
 
-// Stages returns the four stages in display order.
-func (d *Decomposition) Stages() []Stage { return []Stage{d.Queue, d.Wire, d.Order, d.Spread} }
+// Stages returns the stages in display order.
+func (d *Decomposition) Stages() []Stage {
+	return []Stage{d.Queue, d.Wire, d.Order, d.Dispatch, d.Exec, d.Spread}
+}
 
 // Decompose computes the stage breakdown of a set of timelines.
 func Decompose(tls map[MsgKey]*Timeline) Decomposition {
-	var queue, wire, order, spread []time.Duration
+	var queue, wire, order, disp, exec, spread []time.Duration
 	for _, tl := range tls {
 		if tl.Sent >= 0 && tl.Flushed >= 0 {
 			queue = append(queue, time.Duration(tl.Flushed-tl.Sent))
@@ -162,6 +189,12 @@ func Decompose(tls map[MsgKey]*Timeline) Decomposition {
 			if ing, ok := tl.Ingest[proc]; ok {
 				order = append(order, time.Duration(del-ing))
 			}
+			if st, ok := tl.DispStart[proc]; ok {
+				disp = append(disp, time.Duration(st-del))
+				if done, ok := tl.DispDone[proc]; ok {
+					exec = append(exec, time.Duration(done-st))
+				}
+			}
 			if first < 0 || del < first {
 				first = del
 			}
@@ -174,10 +207,12 @@ func Decompose(tls map[MsgKey]*Timeline) Decomposition {
 		}
 	}
 	return Decomposition{
-		Queue:  stageOf("queue-wait", queue),
-		Wire:   stageOf("wire", wire),
-		Order:  stageOf("ordering-wait", order),
-		Spread: stageOf("delivery", spread),
+		Queue:    stageOf("queue-wait", queue),
+		Wire:     stageOf("wire", wire),
+		Order:    stageOf("ordering-wait", order),
+		Dispatch: stageOf("dispatch-wait", disp),
+		Exec:     stageOf("servant-exec", exec),
+		Spread:   stageOf("delivery", spread),
 	}
 }
 

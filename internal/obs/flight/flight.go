@@ -115,37 +115,47 @@ const (
 	// A=target global sequence, B=delivered global at arrival. Symmetric:
 	// MsgSeq=marker sequence, A=marker Lamport time.
 	EvFrontierWait
+	// EvDispatchStart: a dispatch worker picked up a delivered message for
+	// fan-out (handler call or Events() push). Sender/MsgSeq/View identify
+	// the message as in EvDeliver; the deliver→dispatch-start gap is the
+	// ordering-to-execution queueing delay.
+	EvDispatchStart
+	// EvDispatchDone: the fan-out for that message returned; the
+	// dispatch-start→dispatch-done gap is pure servant-execution time.
+	EvDispatchDone
 
 	evMax // sentinel, keep last
 )
 
 var typeNames = [evMax]string{
-	EvNone:         "none",
-	EvMulticast:    "multicast",
-	EvBatchFlush:   "batch-flush",
-	EvIngest:       "ingest",
-	EvStash:        "stash",
-	EvDupDrop:      "dup-drop",
-	EvStaleDrop:    "stale-drop",
-	EvAssign:       "assign",
-	EvDeliver:      "deliver",
-	EvCutDeliver:   "cut-deliver",
-	EvStable:       "stable",
-	EvResend:       "resend",
-	EvFlushPropose: "flush-propose",
-	EvFlushAck:     "flush-ack",
-	EvFlushCommit:  "flush-commit",
-	EvViewInstall:  "view-install",
-	EvTCPFlush:     "tcp-flush",
-	EvTCPDropFull:  "tcp-drop-full",
-	EvTCPDropConn:  "tcp-drop-conn",
-	EvTCPConnect:   "tcp-connect",
-	EvCallStart:    "call-start",
-	EvCallDone:     "call-done",
-	EvLeaseGrant:   "lease-grant",
-	EvLeaseExpire:  "lease-expire",
-	EvLocalRead:    "local-read",
-	EvFrontierWait: "frontier-wait",
+	EvNone:          "none",
+	EvMulticast:     "multicast",
+	EvBatchFlush:    "batch-flush",
+	EvIngest:        "ingest",
+	EvStash:         "stash",
+	EvDupDrop:       "dup-drop",
+	EvStaleDrop:     "stale-drop",
+	EvAssign:        "assign",
+	EvDeliver:       "deliver",
+	EvCutDeliver:    "cut-deliver",
+	EvStable:        "stable",
+	EvResend:        "resend",
+	EvFlushPropose:  "flush-propose",
+	EvFlushAck:      "flush-ack",
+	EvFlushCommit:   "flush-commit",
+	EvViewInstall:   "view-install",
+	EvTCPFlush:      "tcp-flush",
+	EvTCPDropFull:   "tcp-drop-full",
+	EvTCPDropConn:   "tcp-drop-conn",
+	EvTCPConnect:    "tcp-connect",
+	EvCallStart:     "call-start",
+	EvCallDone:      "call-done",
+	EvLeaseGrant:    "lease-grant",
+	EvLeaseExpire:   "lease-expire",
+	EvLocalRead:     "local-read",
+	EvFrontierWait:  "frontier-wait",
+	EvDispatchStart: "dispatch-start",
+	EvDispatchDone:  "dispatch-done",
 }
 
 // String returns the event type's journal name.

@@ -22,12 +22,16 @@ type FIFO[T any] struct {
 	head    int // index of the front element; len(buf)-head items queued
 	depth   func(int)
 	closed  bool
+	started bool // pump goroutine running (first Out() call starts it)
 	closeCh chan struct{}
 	out     chan T
 	done    chan struct{}
 }
 
-// New returns a running FIFO. Call Close to stop its pump goroutine.
+// New returns a FIFO. The pump goroutine that feeds the Out channel is
+// started lazily by the first Out() call, so a FIFO consumed only through
+// TryPop — or never consumed at all, as with handler-mode gcs groups —
+// costs no goroutine. Call Close to stop it.
 func New[T any]() *FIFO[T] {
 	f := &FIFO[T]{
 		out:     make(chan T),
@@ -35,7 +39,6 @@ func New[T any]() *FIFO[T] {
 		done:    make(chan struct{}),
 	}
 	f.cond = sync.NewCond(&f.mu)
-	go f.pump()
 	return f
 }
 
@@ -77,7 +80,38 @@ func (f *FIFO[T]) OnDepth(fn func(int)) {
 }
 
 // Out returns the consumer channel; it is closed when the FIFO closes.
-func (f *FIFO[T]) Out() <-chan T { return f.out }
+// The first call starts the pump goroutine.
+func (f *FIFO[T]) Out() <-chan T {
+	f.mu.Lock()
+	if !f.started && !f.closed {
+		f.started = true
+		go f.pump()
+	}
+	f.mu.Unlock()
+	return f.out
+}
+
+// TryPop removes and returns the front buffered item without blocking.
+// It reports false when nothing is buffered. Safe to mix with the pump:
+// the pump and TryPop contend on the same lock and each item goes to
+// exactly one of them (the gcs dispatch stage uses TryPop to forward a
+// pre-handler backlog without ever starting the pump).
+func (f *FIFO[T]) TryPop() (T, bool) {
+	var zero T
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.buf) == f.head {
+		return zero, false
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return v, true
+}
 
 // Len returns the number of buffered (not yet consumed) items.
 func (f *FIFO[T]) Len() int {
@@ -87,13 +121,19 @@ func (f *FIFO[T]) Len() int {
 }
 
 // Close stops the pump and closes the output channel. It is idempotent and
-// waits for the pump goroutine to exit.
+// waits for the pump goroutine (if one ever started) to exit.
 func (f *FIFO[T]) Close() {
 	f.mu.Lock()
 	if !f.closed {
 		f.closed = true
 		close(f.closeCh)
 		f.cond.Signal()
+		if !f.started {
+			// No pump to close the channels; do it here so Out() readers
+			// and Close() callers see the same shutdown either way.
+			close(f.out)
+			close(f.done)
+		}
 	}
 	f.mu.Unlock()
 	<-f.done
